@@ -1,0 +1,128 @@
+package ksa_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, each regenerating its artifact at a reduced scale per
+// iteration, plus micro-benchmarks for the substrate's hot paths. Run
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root; EXPERIMENTS.md records a full-scale reference
+// run (via cmd/ksaexp) against the paper's numbers.
+
+import (
+	"testing"
+
+	"ksa"
+)
+
+func benchScale() ksa.Scale {
+	sc := ksa.QuickScale()
+	sc.CorpusPrograms = 20
+	sc.Iterations = 5
+	return sc
+}
+
+// BenchmarkTable1 regenerates Table 1 (the VM configuration spectrum).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ksa.VMConfigTable().String()
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: median/p99/max decade breakdowns on
+// native, 64 one-core VMs, and 64 containers.
+func BenchmarkTable2(b *testing.B) {
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunTable2(sc)
+		if len(res.Envs) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: per-category p99 violins across
+// the seven VM configurations.
+func BenchmarkFigure2(b *testing.B) {
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunFigure2(sc)
+		if len(res.Categories) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: worst-case breakdowns across
+// container counts 1..64.
+func BenchmarkTable3(b *testing.B) {
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunTable3(sc)
+		if len(res.Counts) != 7 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: single-node tailbench p99 under
+// isolation and contention on both substrates (all eight apps).
+func BenchmarkFigure3(b *testing.B) {
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunFigure3(sc)
+		if len(res.Rows) != 8 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: BSP cluster runtimes for the six
+// cluster apps on both substrates, isolated and contended.
+func BenchmarkFigure4(b *testing.B) {
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunFigure4(sc)
+		if len(res.Rows) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures the coverage-guided generation loop.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: uint64(i + 1), TargetPrograms: 20})
+		if len(c.Programs) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkVarbenchNative measures the harness's syscall throughput on a
+// shared 64-core kernel (events through the discrete-event engine dominate).
+func BenchmarkVarbenchNative(b *testing.B) {
+	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 9, TargetPrograms: 15})
+	opts := ksa.VarbenchOptions{Iterations: 3, Warmup: 0, Seed: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := ksa.NewNativeEnvironment(ksa.NewEngine(), ksa.PaperMachine, 7)
+		_ = ksa.RunVarbench(env, c, opts)
+	}
+}
+
+// BenchmarkVarbench64VMs is the same workload on 64 partitioned kernels.
+func BenchmarkVarbench64VMs(b *testing.B) {
+	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 9, TargetPrograms: 15})
+	opts := ksa.VarbenchOptions{Iterations: 3, Warmup: 0, Seed: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := ksa.NewVMEnvironment(ksa.NewEngine(), ksa.PaperMachine, 64, 7)
+		_ = ksa.RunVarbench(env, c, opts)
+	}
+}

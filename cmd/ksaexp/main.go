@@ -1,0 +1,105 @@
+// Command ksaexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick] [-seed N]
+//
+// Output is the textual analog of each table/figure; EXPERIMENTS.md records
+// a reference run side by side with the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ksa"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation or all (lightvm/ablation are extensions, not in 'all')")
+	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
+	seed := flag.Uint64("seed", 0, "override the scale's seed (0 = keep)")
+	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	flag.Parse()
+
+	var sc ksa.Scale
+	switch *scaleName {
+	case "default":
+		sc = ksa.DefaultScale()
+	case "quick":
+		sc = ksa.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "ksaexp: unknown -scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		t0 := time.Now()
+		fn()
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() { fmt.Println(ksa.VMConfigTable().String()) })
+	run("table2", func() { fmt.Println(ksa.RunTable2(sc).Render()) })
+	writeCSV := func(name string, emit func(*os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := *csvDir + "/" + name + ".csv"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksaexp:", err)
+			return
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ksaexp:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ksaexp: wrote %s\n", path)
+	}
+	run("fig2", func() {
+		res := ksa.RunFigure2(sc)
+		fmt.Println(res.Render())
+		writeCSV("fig2", func(f *os.File) error { return res.WriteCSV(f) })
+	})
+	run("table3", func() { fmt.Println(ksa.RunTable3(sc).Render()) })
+	run("fig3", func() {
+		res := ksa.RunFigure3(sc)
+		fmt.Println(res.Render())
+		writeCSV("fig3", func(f *os.File) error { return res.WriteCSV(f) })
+	})
+	run("fig4", func() {
+		res := ksa.RunFigure4(sc)
+		fmt.Println(res.Render())
+		writeCSV("fig4", func(f *os.File) error { return res.WriteCSV(f) })
+	})
+	// Extensions beyond the paper (opt-in; not part of "all").
+	if want["lightvm"] {
+		run("lightvm", func() { fmt.Println(ksa.RunLightVMExtension(sc).Render()) })
+	}
+	if want["ablation"] {
+		run("ablation", func() { fmt.Println(ksa.RunAblation(sc).Render()) })
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ksaexp: nothing selected by -exp %q\n", *exps)
+		os.Exit(2)
+	}
+}

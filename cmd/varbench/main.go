@@ -1,0 +1,98 @@
+// Command varbench deploys a system-call corpus across every core of a
+// chosen environment with global barrier synchronization and prints the
+// per-call-site latency breakdowns (the harness of the paper's §3.2).
+//
+// Usage:
+//
+//	varbench [-corpus file] [-env native|kvm|docker] [-units N]
+//	         [-cores N] [-mem GB] [-iters N] [-seed N]
+//
+// Without -corpus, a corpus is generated on the fly from the seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ksa"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus file from ksagen (default: generate)")
+	envKind := flag.String("env", "native", "environment: native, kvm, or docker")
+	units := flag.Int("units", 64, "number of VMs/containers (kvm and docker)")
+	cores := flag.Int("cores", 64, "machine cores")
+	mem := flag.Float64("mem", 32, "machine memory (GB)")
+	iters := flag.Int("iters", 20, "recorded iterations per program")
+	warmup := flag.Int("warmup", 2, "warmup iterations")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	contention := flag.Bool("contention", false, "print per-kernel lock contention reports")
+	flag.Parse()
+
+	var c *ksa.Corpus
+	if *corpusPath != "" {
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varbench:", err)
+			os.Exit(1)
+		}
+		c, err = ksa.ReadCorpus(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		c, _ = ksa.GenerateCorpus(ksa.CorpusOptions{Seed: *seed, TargetPrograms: 80})
+	}
+
+	m := ksa.Machine{Cores: *cores, MemGB: *mem}
+	eng := ksa.NewEngine()
+	var env *ksa.Environment
+	switch *envKind {
+	case "native":
+		env = ksa.NewNativeEnvironment(eng, m, *seed)
+	case "kvm":
+		env = ksa.NewVMEnvironment(eng, m, *units, *seed)
+	case "docker":
+		env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "varbench: unknown -env %q\n", *envKind)
+		os.Exit(2)
+	}
+
+	res := ksa.RunVarbench(env, c, ksa.VarbenchOptions{
+		Iterations: *iters, Warmup: *warmup, Seed: *seed,
+	})
+	fmt.Printf("%s: %d call sites, %d cores, %d iterations\n",
+		env.Name, len(res.Sites), res.Cores, res.Iterations)
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n", "metric", "1µs", "10µs", "100µs", "1ms", "10ms", ">10ms")
+	for _, row := range []struct {
+		name string
+		b    ksa.Breakdown
+	}{
+		{"median", res.MedianBreakdown()},
+		{"p99", res.P99Breakdown()},
+		{"max", res.MaxBreakdown()},
+	} {
+		cells := row.b.Row()
+		fmt.Printf("%-8s", row.name)
+		for _, cell := range cells {
+			fmt.Printf(" %8s", cell)
+		}
+		fmt.Println()
+	}
+	if *contention {
+		fmt.Println()
+		// With many kernels (64 VMs) print only the first; they are
+		// statistically interchangeable.
+		limit := len(env.Kernels)
+		if limit > 2 {
+			limit = 2
+		}
+		for _, k := range env.Kernels[:limit] {
+			fmt.Println(k.Contention().String())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Cluster64 reproduces the Figure 4 scenario for one application: 64 nodes
+// each running a local client/server pair in BSP iterations (barrier after
+// a fixed request count per node), with a kernel-intensive co-tenant on
+// each node. Per-node tail events become whole-cluster stragglers through
+// the barrier's max(), which is where VM isolation pays off at scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ksa"
+)
+
+func main() {
+	appName := flag.String("app", "xapian", "tailbench app to run")
+	nodes := flag.Int("nodes", 64, "cluster size")
+	flag.Parse()
+
+	app := ksa.AppByName(*appName)
+	if app == nil {
+		fmt.Println("unknown app:", *appName)
+		return
+	}
+	noise, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 42, TargetPrograms: 40})
+
+	run := func(kind ksa.EnvKind, contended bool) ksa.ClusterResult {
+		return ksa.RunCluster(ksa.ClusterConfig{
+			App: app, Kind: kind, Contended: contended, NoiseCorpus: noise,
+			Nodes: *nodes, Iterations: 5, RequestsPerIter: 120, Seed: 5,
+		})
+	}
+
+	fmt.Printf("%s on %d nodes, 5 BSP iterations x 120 requests/node:\n\n", app.Name, *nodes)
+	ki := run(ksa.KindVMs, false)
+	kc := run(ksa.KindVMs, true)
+	di := run(ksa.KindContainers, false)
+	dc := run(ksa.KindContainers, true)
+	fmt.Printf("  KVM    isolated %v   contended %v  (straggler factor %.2f)\n",
+		ki.Runtime, kc.Runtime, kc.StragglerFactor())
+	fmt.Printf("  Docker isolated %v   contended %v  (straggler factor %.2f)\n",
+		di.Runtime, dc.Runtime, dc.StragglerFactor())
+	lossK := 100 * (float64(kc.Runtime)/float64(ki.Runtime) - 1)
+	lossD := 100 * (float64(dc.Runtime)/float64(di.Runtime) - 1)
+	fmt.Printf("\n  contention cost: KVM +%.1f%%, Docker +%.1f%%\n", lossK, lossD)
+	if kc.Runtime < dc.Runtime {
+		fmt.Printf("  under contention the isolated (KVM) deployment finishes %.1f%% sooner\n",
+			100*(1-float64(kc.Runtime)/float64(dc.Runtime)))
+	} else {
+		fmt.Printf("  this app still prefers Docker under contention (silo-like: virtualization-hostile)\n")
+	}
+}

@@ -1,0 +1,34 @@
+// Noisytenant reproduces the Figure 3 scenario for a few applications: a
+// tailbench server in one partition of a 64-core machine, a 48-core
+// system-call corpus hammering the other three partitions, measured once
+// behind Docker containers (shared kernel) and once behind KVM VMs
+// (isolated kernels).
+package main
+
+import (
+	"fmt"
+
+	"ksa"
+	"ksa/internal/tailbench"
+)
+
+func main() {
+	noise, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 42, TargetPrograms: 40})
+	srv := tailbench.DefaultServerOptions(1)
+
+	fmt.Println("single node, 4x16-core partitions: 1 app server + 3 noise partitions")
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s %10s\n",
+		"app", "kvm iso", "kvm cont", "docker iso", "docker cont", "kvm +%", "docker +%")
+	for _, name := range []string{"xapian", "moses", "silo", "shore"} {
+		app := ksa.AppByName(name)
+		row := tailbench.RunFig3App(app, noise, srv, 9)
+		fmt.Printf("%-10s %10.2fms %10.2fms %10.2fms %10.2fms %9.1f%% %9.1f%%\n",
+			row.App, row.KVMIso/1000, row.KVMCont/1000,
+			row.DockerIso/1000, row.DockerCont/1000,
+			row.KVMIncrease, row.DockerIncrease)
+	}
+	fmt.Println()
+	fmt.Println("reading: isolated, Docker wins everywhere (virtualization tax);")
+	fmt.Println("contended, the shared kernel leaks the noise tenant's interference")
+	fmt.Println("into the app's tails, while the VM boundary bounds it.")
+}

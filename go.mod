@@ -1,0 +1,3 @@
+module ksa
+
+go 1.24

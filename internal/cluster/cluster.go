@@ -1,0 +1,265 @@
+// Package cluster implements the paper's large-scale evaluation substrate
+// (§6.3): 64 nodes each running one tailbench client/server pair locally
+// (no inter-node traffic on the critical path), iterating in bulk
+// synchronous parallel style — each client issues a fixed number of
+// requests, then waits at a global barrier. Iteration time is therefore the
+// *maximum* over nodes, which is what amplifies per-node tail latency into
+// whole-application slowdown ("straggler effects").
+//
+// The paper ran this on a 64-node partition of Chameleon Cloud (dual-socket
+// Haswell per node); we simulate each node as an independent machine whose
+// application partition and noise partition share (Docker) or do not share
+// (KVM) a kernel. Nodes are seeded independently, so maxima behave like
+// real fleet maxima.
+package cluster
+
+import (
+	"fmt"
+
+	"ksa/internal/corpus"
+	"ksa/internal/kernel"
+	"ksa/internal/platform"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
+	"ksa/internal/tailbench"
+)
+
+// Config describes one Figure 4 run.
+type Config struct {
+	// Nodes is the cluster size (paper: 64).
+	Nodes int
+	// App is the tailbench workload each node serves locally.
+	App *tailbench.App
+	// Kind selects the per-node isolation substrate.
+	Kind platform.EnvKind
+	// Contended co-runs the syscall corpus on each node's other partition.
+	Contended bool
+	// NoiseCorpus supplies the co-runner's programs (required if Contended).
+	NoiseCorpus *corpus.Corpus
+	// Iterations is the number of BSP iterations (paper: 50).
+	Iterations int
+	// RequestsPerIter is the fixed per-node request count per iteration.
+	RequestsPerIter int
+	// Concurrency is the number of outstanding requests the closed-loop
+	// client keeps in flight (default: one per worker core). The paper's
+	// cluster harness issues a fixed request count and barriers when they
+	// complete, so iteration time tracks contended service capacity
+	// directly.
+	Concurrency int
+	// Seed drives everything.
+	Seed uint64
+	// NodeMachine is one node's socket (default 24 cores / 64 GB).
+	NodeMachine platform.Machine
+	// Partitions per node (default 2: app + noise).
+	Partitions int
+	// NoiseIterGap throttles the co-runner (default 500µs).
+	NoiseIterGap sim.Time
+	// BarrierHop is the inter-node network barrier per-round latency
+	// (default 15µs, a cluster interconnect).
+	BarrierHop sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 64
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.RequestsPerIter == 0 {
+		c.RequestsPerIter = 200
+	}
+
+	if c.NodeMachine.Cores == 0 {
+		c.NodeMachine = platform.Machine{Cores: 24, MemGB: 64}
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 2
+	}
+	if c.NoiseIterGap == 0 {
+		c.NoiseIterGap = 500 * sim.Microsecond
+	}
+	if c.BarrierHop == 0 {
+		c.BarrierHop = 15 * sim.Microsecond
+	}
+	return c
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	App       string
+	Env       string
+	Contended bool
+	// Runtime is the total virtual time for all iterations.
+	Runtime sim.Time
+	// IterTimes are the per-iteration times (max over nodes + barrier).
+	IterTimes []sim.Time
+	// MeanNodeTime is the average per-node per-iteration completion time —
+	// the gap to IterTimes' mean is the straggler penalty.
+	MeanNodeTime sim.Time
+}
+
+// StragglerFactor is mean(iteration time) / mean(node time): how much the
+// barrier's max() amplifies per-node variability. 1.0 = no stragglers.
+func (r *Result) StragglerFactor() float64 {
+	if r.MeanNodeTime == 0 || len(r.IterTimes) == 0 {
+		return 1
+	}
+	var sum sim.Time
+	for _, t := range r.IterTimes {
+		sum += t
+	}
+	mean := float64(sum) / float64(len(r.IterTimes))
+	return mean / float64(r.MeanNodeTime)
+}
+
+// node is one simulated cluster node.
+type node struct {
+	env   *platform.Environment
+	cores []platform.CoreRef
+	procs []*syscalls.Proc
+	src   *rng.Source
+
+	free   []int
+	queued int
+	issued int
+	done   int
+	target int
+}
+
+// debugHook, when set by tests, receives node 0's environment at the end
+// of a Run.
+var debugHook func(*platform.Environment)
+
+// Run executes the configured cluster experiment.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if cfg.App == nil {
+		panic("cluster: Config needs an App")
+	}
+	if cfg.Contended && cfg.NoiseCorpus == nil {
+		panic("cluster: contended run needs a NoiseCorpus")
+	}
+	eng := sim.NewEngine()
+	root := rng.New(cfg.Seed)
+
+	per := cfg.NodeMachine.Cores / cfg.Partitions
+	conc := cfg.Concurrency
+	if conc <= 0 || conc > per {
+		conc = per
+	}
+
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		src := root.Split(uint64(i) + 100)
+		var env *platform.Environment
+		switch cfg.Kind {
+		case platform.KindVMs:
+			env = platform.VMs(eng, cfg.NodeMachine, cfg.Partitions, src)
+		case platform.KindLightVMs:
+			env = platform.LightVMs(eng, cfg.NodeMachine, cfg.Partitions, src)
+		case platform.KindContainers:
+			env = platform.Containers(eng, cfg.NodeMachine, cfg.Partitions, src)
+		default:
+			panic(fmt.Sprintf("cluster: unsupported kind %v", cfg.Kind))
+		}
+		n := &node{env: env, src: src.Split(7), target: cfg.RequestsPerIter}
+		for c := 0; c < per; c++ {
+			ref := env.Core(c)
+			proc := syscalls.NewProc(eng)
+			proc.Salt = uint64(i*64+c+1) * 0x9e3779b97f4a7c15
+			proc.VMAs = 8
+			n.cores = append(n.cores, ref)
+			n.procs = append(n.procs, proc)
+			n.free = append(n.free, c)
+		}
+		nodes[i] = n
+		if cfg.Contended {
+			noiseCores := make([]platform.CoreRef, 0, cfg.NodeMachine.Cores-per)
+			for c := per; c < cfg.NodeMachine.Cores; c++ {
+				noiseCores = append(noiseCores, env.Core(c))
+			}
+			skew := src.Split(8)
+			tailbench.StartNoise(env, noiseCores, cfg.NoiseCorpus, sim.Forever,
+				cfg.NoiseIterGap, func() sim.Time {
+					return sim.Time(skew.Exp(float64(6 * sim.Microsecond)))
+				})
+		}
+	}
+
+	barrier := sim.NewBarrier(eng, cfg.Nodes, cfg.BarrierHop)
+	res := Result{App: cfg.App.Name, Env: cfg.Kind.String(), Contended: cfg.Contended}
+	var iterStart sim.Time
+	var nodeTimeSum sim.Time
+	var nodeTimeCount int
+	iter := 0
+
+	var startIteration func()
+	startIteration = func() {
+		iterStart = eng.Now()
+		for _, n := range nodes {
+			n.issued, n.done = 0, 0
+			n.runIteration(eng, cfg.App, conc, func(nd *node) {
+				nodeTimeSum += eng.Now() - iterStart
+				nodeTimeCount++
+				barrier.Arrive(func() {
+					// Only the first releasee per epoch advances the state.
+					if nd != nodes[0] {
+						return
+					}
+					res.IterTimes = append(res.IterTimes, eng.Now()-iterStart)
+					iter++
+					if iter < cfg.Iterations {
+						startIteration()
+					}
+				})
+			})
+		}
+	}
+	startIteration()
+	// Noise runs with deadline Forever under Contended; the engine would
+	// never drain, so run until the last iteration completes instead.
+	for iter < cfg.Iterations && eng.Step() {
+	}
+	if debugHook != nil {
+		debugHook(nodes[0].env)
+	}
+	res.Runtime = eng.Now()
+	if nodeTimeCount > 0 {
+		res.MeanNodeTime = nodeTimeSum / sim.Time(nodeTimeCount)
+	}
+	return res
+}
+
+// runIteration issues the node's fixed request quota closed-loop (conc
+// outstanding at a time) and calls complete when the last response arrives.
+func (n *node) runIteration(eng *sim.Engine, app *tailbench.App, conc int, complete func(*node)) {
+	var issue func(w int)
+	issue = func(w int) {
+		n.issued++
+		ref := n.cores[w]
+		ctx := &syscalls.Ctx{Kern: ref.Kernel, Core: ref.Core, Proc: n.procs[w], Cov: syscalls.NopCoverage{}}
+		ops := app.CompileRequest(ctx, n.src)
+		ref.Kernel.Submit(ref.Core, &kernel.Task{
+			Ops:       ops,
+			AddrSpace: n.procs[w].MM,
+			OnDone: func(sim.Time) {
+				n.done++
+				if n.issued < n.target {
+					issue(w)
+					return
+				}
+				if n.done == n.target {
+					complete(n)
+				}
+			},
+		})
+	}
+	if conc > n.target {
+		conc = n.target
+	}
+	for w := 0; w < conc; w++ {
+		issue(w)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ksa/internal/cluster"
+	"ksa/internal/corpus"
+	"ksa/internal/platform"
+	"ksa/internal/report"
+	"ksa/internal/tailbench"
+)
+
+// noiseCorpus generates the co-tenant syscall corpus used by the
+// application experiments (Figures 3 and 4).
+func (sc Scale) noiseCorpus() *corpus.Corpus {
+	opts := sc
+	opts.CorpusPrograms = sc.CorpusPrograms / 2
+	if opts.CorpusPrograms < 8 {
+		opts.CorpusPrograms = 8
+	}
+	c, _ := opts.GenerateCorpus()
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+
+// Figure3Result holds per-application single-node tail-latency rows.
+type Figure3Result struct {
+	Rows []tailbench.Fig3Row
+}
+
+// RunFigure3 reproduces Figure 3: single-node 99th-percentile request
+// latency for every tailbench application, isolated and with a co-running
+// 48-core syscall corpus, on KVM and Docker.
+func RunFigure3(sc Scale) Figure3Result {
+	noise := sc.noiseCorpus()
+	srv := tailbench.ServerOptions{
+		Util: 0.75, Warmup: sc.ServerWarmup, Measure: sc.ServerMeasure, Seed: sc.Seed,
+	}
+	var out Figure3Result
+	for _, app := range tailbench.Apps() {
+		out.Rows = append(out.Rows, tailbench.RunFig3App(app, noise, srv, sc.Seed))
+	}
+	return out
+}
+
+// Render formats the three Figure 3 panels.
+func (r Figure3Result) Render() string {
+	var sb strings.Builder
+	groups := make([]string, len(r.Rows))
+	iso := make([][]float64, len(r.Rows))
+	cont := make([][]float64, len(r.Rows))
+	inc := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		groups[i] = row.App
+		iso[i] = []float64{row.KVMIso, row.DockerIso}
+		cont[i] = []float64{row.KVMCont, row.DockerCont}
+		inc[i] = []float64{row.KVMIncrease, row.DockerIncrease}
+	}
+	ms := func(v float64) string { return fmt.Sprintf("%.2f", v/1000) }
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+	sb.WriteString(report.GroupedBars("Figure 3(a): isolated 99th percentile latency (ms)",
+		"app", []string{"KVM", "Docker"}, groups, iso, ms).String())
+	sb.WriteByte('\n')
+	sb.WriteString(report.GroupedBars("Figure 3(b): contended 99th percentile latency (ms)",
+		"app", []string{"KVM", "Docker"}, groups, cont, ms).String())
+	sb.WriteByte('\n')
+	sb.WriteString(report.GroupedBars("Figure 3(c): p99 increase, isolated -> contended",
+		"app", []string{"KVM", "Docker"}, groups, inc, pct).String())
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+
+// Figure4Row is one application's cluster runtimes (microsecond-precision
+// virtual times rendered in ms).
+type Figure4Row struct {
+	App        string
+	KVMIso     float64 // runtime, ms
+	KVMCont    float64
+	DockerIso  float64
+	DockerCont float64
+	// Relative losses isolated -> contended, percent (Figure 4(c)).
+	KVMLoss, DockerLoss float64
+}
+
+// Figure4Result holds all applications' rows.
+type Figure4Result struct {
+	Rows []Figure4Row
+}
+
+// Fig4Apps lists the applications the paper runs at cluster scale (shore
+// needs SSDs the nodes lack; specjbb hit JVM failures).
+func Fig4Apps() []string {
+	return []string{"xapian", "masstree", "moses", "sphinx", "img-dnn", "silo"}
+}
+
+// RunFigure4 reproduces Figure 4: 64-node BSP runtimes for the cluster
+// applications, isolated and contended, on KVM and Docker.
+func RunFigure4(sc Scale) Figure4Result {
+	noise := sc.noiseCorpus()
+	var out Figure4Result
+	for _, name := range Fig4Apps() {
+		app := tailbench.AppByName(name)
+		run := func(kind platform.EnvKind, cont bool) float64 {
+			r := cluster.Run(cluster.Config{
+				App: app, Kind: kind, Contended: cont, NoiseCorpus: noise,
+				Nodes: sc.Nodes, Iterations: sc.ClusterIterations,
+				RequestsPerIter: sc.RequestsPerIter, Seed: sc.Seed,
+			})
+			return r.Runtime.Millis()
+		}
+		row := Figure4Row{App: name}
+		row.KVMIso = run(platform.KindVMs, false)
+		row.KVMCont = run(platform.KindVMs, true)
+		row.DockerIso = run(platform.KindContainers, false)
+		row.DockerCont = run(platform.KindContainers, true)
+		if row.KVMIso > 0 {
+			row.KVMLoss = 100 * (row.KVMCont - row.KVMIso) / row.KVMIso
+		}
+		if row.DockerIso > 0 {
+			row.DockerLoss = 100 * (row.DockerCont - row.DockerIso) / row.DockerIso
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render formats the three Figure 4 panels.
+func (r Figure4Result) Render() string {
+	var sb strings.Builder
+	groups := make([]string, len(r.Rows))
+	iso := make([][]float64, len(r.Rows))
+	cont := make([][]float64, len(r.Rows))
+	loss := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		groups[i] = row.App
+		iso[i] = []float64{row.KVMIso, row.DockerIso}
+		cont[i] = []float64{row.KVMCont, row.DockerCont}
+		loss[i] = []float64{row.KVMLoss, row.DockerLoss}
+	}
+	ms := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+	sb.WriteString(report.GroupedBars("Figure 4(a): isolated cluster runtime (ms, 64 nodes)",
+		"app", []string{"KVM", "Docker"}, groups, iso, ms).String())
+	sb.WriteByte('\n')
+	sb.WriteString(report.GroupedBars("Figure 4(b): contended cluster runtime (ms, 64 nodes)",
+		"app", []string{"KVM", "Docker"}, groups, cont, ms).String())
+	sb.WriteByte('\n')
+	sb.WriteString(report.GroupedBars("Figure 4(c): runtime loss, isolated -> contended",
+		"app", []string{"KVM", "Docker"}, groups, loss, pct).String())
+	return sb.String()
+}

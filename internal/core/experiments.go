@@ -1,0 +1,261 @@
+// Package core orchestrates the paper's experiments: one typed runner per
+// table and figure, built on the corpus generator, the varbench harness,
+// the environment models, and the application workloads. This is the layer
+// the cmd/ksaexp tool, the examples, and the benchmark harness call into.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ksa/internal/corpus"
+	"ksa/internal/fuzz"
+	"ksa/internal/platform"
+	"ksa/internal/report"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/stats"
+	"ksa/internal/syscalls"
+	"ksa/internal/varbench"
+)
+
+// Scale controls experiment sizes. The paper's full scale (27k-call corpus,
+// 100 iterations, 3-minute servers, 50 cluster iterations) is unnecessary
+// for the distributions to converge in the simulator; DefaultScale is
+// calibrated to finish each experiment in seconds-to-minutes while keeping
+// the shapes stable. QuickScale is for tests and smoke runs.
+type Scale struct {
+	Seed uint64
+
+	// Corpus generation.
+	CorpusPrograms int
+
+	// varbench runs (Table 2, Figure 2, Table 3).
+	Iterations int
+	Warmup     int
+
+	// Single-node tailbench (Figure 3).
+	ServerWarmup  sim.Time
+	ServerMeasure sim.Time
+
+	// Cluster (Figure 4).
+	Nodes             int
+	ClusterIterations int
+	RequestsPerIter   int
+}
+
+// DefaultScale returns the standard experiment scale.
+func DefaultScale() Scale {
+	return Scale{
+		Seed:              42,
+		CorpusPrograms:    80,
+		Iterations:        20,
+		Warmup:            2,
+		ServerWarmup:      300 * sim.Millisecond,
+		ServerMeasure:     1500 * sim.Millisecond,
+		Nodes:             64,
+		ClusterIterations: 6,
+		RequestsPerIter:   150,
+	}
+}
+
+// QuickScale returns a much smaller configuration for tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{
+		Seed:              42,
+		CorpusPrograms:    15,
+		Iterations:        4,
+		Warmup:            1,
+		ServerWarmup:      50 * sim.Millisecond,
+		ServerMeasure:     250 * sim.Millisecond,
+		Nodes:             8,
+		ClusterIterations: 2,
+		RequestsPerIter:   40,
+	}
+}
+
+// GenerateCorpus runs the coverage-guided generator at this scale.
+func (sc Scale) GenerateCorpus() (*corpus.Corpus, fuzz.Stats) {
+	opts := fuzz.NewOptions(sc.Seed)
+	opts.TargetPrograms = sc.CorpusPrograms
+	return fuzz.Generate(opts)
+}
+
+func (sc Scale) vbOptions() varbench.Options {
+	return varbench.Options{Iterations: sc.Iterations, Warmup: sc.Warmup, Seed: sc.Seed}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// VMConfigTable renders Table 1: the VM configurations that partition the
+// evaluation machine.
+func VMConfigTable() *report.Table {
+	rows := platform.VMConfigTable(platform.PaperMachine)
+	t := &report.Table{
+		Title:   "Table 1: VM configurations (64 cores / 32 GB virtualized in all cases)",
+		Headers: []string{"# VMs", "# Cores/VM", "GB RAM/VM"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.VMs), fmt.Sprintf("%d", r.CoresPer),
+			strings.TrimSuffix(fmt.Sprintf("%.1f", r.MemGBPer), ".0"))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+
+// Table2Result holds the three environments' decade breakdowns.
+type Table2Result struct {
+	CorpusCalls int
+	Envs        []string // "native", "kvm-64x1", "docker-64x1"
+	Median      []stats.Breakdown
+	P99         []stats.Breakdown
+	Max         []stats.Breakdown
+}
+
+// RunTable2 reproduces Table 2: median/p99/worst-case decade breakdowns of
+// per-call-site latency on native Linux, 64 one-core KVM VMs, and 64
+// one-core Docker containers.
+func RunTable2(sc Scale) Table2Result {
+	c, _ := sc.GenerateCorpus()
+	res := Table2Result{CorpusCalls: c.NumCalls()}
+	envs := []func(*sim.Engine) *platform.Environment{
+		func(e *sim.Engine) *platform.Environment {
+			return platform.Native(e, platform.PaperMachine, rng.New(sc.Seed))
+		},
+		func(e *sim.Engine) *platform.Environment {
+			return platform.VMs(e, platform.PaperMachine, 64, rng.New(sc.Seed))
+		},
+		func(e *sim.Engine) *platform.Environment {
+			return platform.Containers(e, platform.PaperMachine, 64, rng.New(sc.Seed))
+		},
+	}
+	for _, mk := range envs {
+		eng := sim.NewEngine()
+		env := mk(eng)
+		r := varbench.Run(env, c, sc.vbOptions())
+		res.Envs = append(res.Envs, env.Name)
+		res.Median = append(res.Median, r.MedianBreakdown())
+		res.P99 = append(res.P99, r.P99Breakdown())
+		res.Max = append(res.Max, r.MaxBreakdown())
+	}
+	return res
+}
+
+// Render formats the result in the paper's Table 2 layout.
+func (r Table2Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: system call performance breakdown (%d call sites; cumulative %% under each latency)\n\n", r.CorpusCalls)
+	for _, part := range []struct {
+		name string
+		rows []stats.Breakdown
+	}{{"Median", r.Median}, {"99th percentile", r.P99}, {"Worst case (max)", r.Max}} {
+		t := report.BreakdownTable(part.name, "environment", r.Envs, part.rows)
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+
+// Figure2Result holds, per category, the violin summary of per-site p99s
+// for each VM count.
+type Figure2Result struct {
+	VMCounts   []int
+	Categories []string
+	// Violins[cat][vmIdx]
+	Violins [][]stats.Violin
+}
+
+// RunFigure2 reproduces Figure 2: per-category distributions of call-site
+// 99th percentiles across the Table 1 VM configurations, filtered (like the
+// paper) to call sites whose native median is at least 10µs.
+func RunFigure2(sc Scale) Figure2Result {
+	c, _ := sc.GenerateCorpus()
+	opts := sc.vbOptions()
+
+	natEnv := platform.Native(sim.NewEngine(), platform.PaperMachine, rng.New(sc.Seed))
+	nat := varbench.Run(natEnv, c, opts)
+	include := func(s varbench.Site) bool {
+		smp := nat.SiteSample(s)
+		return smp != nil && smp.Len() > 0 && smp.Median() >= 10
+	}
+
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	results := make([]*varbench.Result, len(counts))
+	for i, n := range counts {
+		env := platform.VMs(sim.NewEngine(), platform.PaperMachine, n, rng.New(sc.Seed))
+		results[i] = varbench.Run(env, c, opts)
+	}
+
+	out := Figure2Result{VMCounts: counts}
+	for _, cn := range syscalls.CategoryNames {
+		out.Categories = append(out.Categories, cn.Name)
+		row := make([]stats.Violin, len(counts))
+		for i := range counts {
+			s := results[i].CategoryP99s(cn.Cat, include)
+			if s.Len() > 0 {
+				row[i] = stats.ViolinOf(s, 16)
+			}
+		}
+		out.Violins = append(out.Violins, row)
+	}
+	return out
+}
+
+// Render formats the result as one violin table per category.
+func (r Figure2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: per-category 99th-percentile distributions vs VM count\n")
+	sb.WriteString("(sites with native median >= 10µs; kernel surface area shrinks left to right)\n\n")
+	labels := make([]string, len(r.VMCounts))
+	for i, n := range r.VMCounts {
+		labels[i] = fmt.Sprintf("%d VMs", n)
+	}
+	for ci, cat := range r.Categories {
+		t := report.ViolinTable(fmt.Sprintf("(%c) %s", 'a'+ci, cat), "config", labels, r.Violins[ci])
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+
+// Table3Result holds worst-case breakdowns per container count.
+type Table3Result struct {
+	Counts []int
+	Max    []stats.Breakdown
+}
+
+// RunTable3 reproduces Table 3: worst-case latency breakdowns on Docker
+// with 1 to 64 containers.
+func RunTable3(sc Scale) Table3Result {
+	c, _ := sc.GenerateCorpus()
+	res := Table3Result{}
+	for n := 1; n <= 64; n *= 2 {
+		eng := sim.NewEngine()
+		env := platform.Containers(eng, platform.PaperMachine, n, rng.New(sc.Seed))
+		r := varbench.Run(env, c, sc.vbOptions())
+		res.Counts = append(res.Counts, n)
+		res.Max = append(res.Max, r.MaxBreakdown())
+	}
+	return res
+}
+
+// Render formats the result in the paper's Table 3 layout.
+func (r Table3Result) Render() string {
+	labels := make([]string, len(r.Counts))
+	for i, n := range r.Counts {
+		labels[i] = fmt.Sprintf("%d", n)
+	}
+	t := report.BreakdownTable(
+		"Table 3: worst-case (max) system call breakdown vs container count",
+		"# ctnrs", labels, r.Max)
+	return t.String()
+}

@@ -1,0 +1,123 @@
+// Package corpus defines system-call programs — the unit of workload the
+// paper's methodology deploys — together with a deterministic text format
+// (a "syzlang-lite") and a runner that executes programs on a simulated
+// kernel call-by-call.
+//
+// A program is a short sequence of syscalls with fixed arguments; arguments
+// may reference the result of an earlier call (Syzkaller-style resource
+// wiring, e.g. a read using the fd an open returned). Each call site is a
+// stable measurement point: the paper tabulates latency distributions per
+// (program, position) pair across cores and iterations.
+package corpus
+
+import (
+	"fmt"
+
+	"ksa/internal/syscalls"
+)
+
+// ValKind discriminates argument values.
+type ValKind uint8
+
+// Argument value kinds.
+const (
+	// ValConst is a literal scalar.
+	ValConst ValKind = iota
+	// ValResult references the result of an earlier call in the program
+	// (X is the call index).
+	ValResult
+)
+
+// ArgValue is one argument in a call.
+type ArgValue struct {
+	Kind ValKind
+	X    uint64
+}
+
+// Const returns a literal argument.
+func Const(v uint64) ArgValue { return ArgValue{Kind: ValConst, X: v} }
+
+// Result returns an argument referencing call callIdx's result.
+func Result(callIdx int) ArgValue { return ArgValue{Kind: ValResult, X: uint64(callIdx)} }
+
+// Call is one syscall invocation.
+type Call struct {
+	Syscall syscalls.ID
+	Args    []ArgValue
+}
+
+// Program is an ordered sequence of calls.
+type Program struct {
+	Calls []Call
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := &Program{Calls: make([]Call, len(p.Calls))}
+	for i, c := range p.Calls {
+		q.Calls[i] = Call{Syscall: c.Syscall, Args: append([]ArgValue(nil), c.Args...)}
+	}
+	return q
+}
+
+// Len returns the number of calls.
+func (p *Program) Len() int { return len(p.Calls) }
+
+// Validate checks structural invariants against the syscall table: ids in
+// range, result references pointing at earlier fd-producing calls.
+func (p *Program) Validate(tab *syscalls.Table) error {
+	for i, c := range p.Calls {
+		if int(c.Syscall) >= tab.Len() {
+			return fmt.Errorf("call %d: syscall id %d out of range", i, c.Syscall)
+		}
+		for j, a := range c.Args {
+			if a.Kind != ValResult {
+				continue
+			}
+			ref := int(a.X)
+			if ref >= i {
+				return fmt.Errorf("call %d arg %d: result ref %d not earlier", i, j, ref)
+			}
+			if tab.Get(p.Calls[ref].Syscall).Returns == syscalls.ResNone {
+				return fmt.Errorf("call %d arg %d: ref %d has no result", i, j, ref)
+			}
+		}
+	}
+	return nil
+}
+
+// FixupResults rewrites result references that became invalid (e.g. after a
+// mutation removed the producing call) into constants; it returns the
+// program for chaining.
+func (p *Program) FixupResults(tab *syscalls.Table) *Program {
+	for i := range p.Calls {
+		for j, a := range p.Calls[i].Args {
+			if a.Kind != ValResult {
+				continue
+			}
+			ref := int(a.X)
+			if ref >= i || tab.Get(p.Calls[ref].Syscall).Returns == syscalls.ResNone {
+				p.Calls[i].Args[j] = Const(a.X)
+			}
+		}
+	}
+	return p
+}
+
+// Corpus is an ordered collection of programs.
+type Corpus struct {
+	Programs []*Program
+}
+
+// NumCalls returns the total number of call sites across all programs —
+// the paper's "27,408 system calls" figure is this count for its corpus.
+func (c *Corpus) NumCalls() int {
+	n := 0
+	for _, p := range c.Programs {
+		n += len(p.Calls)
+	}
+	return n
+}
+
+// Add appends a program.
+func (c *Corpus) Add(p *Program) { c.Programs = append(c.Programs, p) }

@@ -1,0 +1,275 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
+)
+
+func mustSpec(t *testing.T, name string) *syscalls.Spec {
+	t.Helper()
+	s := syscalls.Default().Lookup(name)
+	if s == nil {
+		t.Fatalf("missing syscall %s", name)
+	}
+	return s
+}
+
+func sampleProgram(t *testing.T) *Program {
+	t.Helper()
+	open := mustSpec(t, "open")
+	read := mustSpec(t, "read")
+	getpid := mustSpec(t, "getpid")
+	return &Program{Calls: []Call{
+		{Syscall: open.ID(), Args: []ArgValue{Const(5), Const(0x42)}},
+		{Syscall: read.ID(), Args: []ArgValue{Result(0), Const(4096)}},
+		{Syscall: getpid.ID()},
+	}}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := sampleProgram(t).Validate(syscalls.Default()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsForwardRef(t *testing.T) {
+	p := sampleProgram(t)
+	p.Calls[0].Args[0] = Result(2)
+	if p.Validate(syscalls.Default()) == nil {
+		t.Fatal("forward reference accepted")
+	}
+}
+
+func TestValidateRejectsNonResultRef(t *testing.T) {
+	getpid := mustSpec(t, "getpid")
+	read := mustSpec(t, "read")
+	p := &Program{Calls: []Call{
+		{Syscall: getpid.ID()},
+		{Syscall: read.ID(), Args: []ArgValue{Result(0), Const(1)}},
+	}}
+	if p.Validate(syscalls.Default()) == nil {
+		t.Fatal("reference to non-resource call accepted")
+	}
+}
+
+func TestValidateRejectsBadID(t *testing.T) {
+	p := &Program{Calls: []Call{{Syscall: syscalls.ID(9999)}}}
+	if p.Validate(syscalls.Default()) == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+func TestFixupResults(t *testing.T) {
+	getpid := mustSpec(t, "getpid")
+	read := mustSpec(t, "read")
+	p := &Program{Calls: []Call{
+		{Syscall: getpid.ID()},
+		{Syscall: read.ID(), Args: []ArgValue{Result(0), Result(5)}},
+	}}
+	p.FixupResults(syscalls.Default())
+	if err := p.Validate(syscalls.Default()); err != nil {
+		t.Fatalf("fixup left invalid program: %v", err)
+	}
+	for _, a := range p.Calls[1].Args {
+		if a.Kind != ValConst {
+			t.Fatal("bad refs not rewritten to constants")
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sampleProgram(t)
+	q := p.Clone()
+	q.Calls[0].Args[0] = Const(99)
+	if p.Calls[0].Args[0].X == 99 {
+		t.Fatal("Clone shares arg storage")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := &Corpus{}
+	c.Add(sampleProgram(t))
+	c.Add(&Program{Calls: []Call{{Syscall: mustSpec(t, "munmap").ID(), Args: []ArgValue{Const(8192)}}}})
+	var sb strings.Builder
+	if err := WriteText(&sb, c, syscalls.Default()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()), syscalls.Default())
+	if err != nil {
+		t.Fatalf("parse failed: %v\ntext:\n%s", err, sb.String())
+	}
+	if len(got.Programs) != 2 {
+		t.Fatalf("parsed %d programs", len(got.Programs))
+	}
+	if got.NumCalls() != c.NumCalls() {
+		t.Fatalf("call counts differ: %d vs %d", got.NumCalls(), c.NumCalls())
+	}
+	for pi := range c.Programs {
+		for ci := range c.Programs[pi].Calls {
+			want := c.Programs[pi].Calls[ci]
+			have := got.Programs[pi].Calls[ci]
+			if want.Syscall != have.Syscall || len(want.Args) != len(have.Args) {
+				t.Fatalf("program %d call %d mismatch", pi, ci)
+			}
+			for ai := range want.Args {
+				if want.Args[ai] != have.Args[ai] {
+					t.Fatalf("program %d call %d arg %d: %v vs %v", pi, ci, ai, want.Args[ai], have.Args[ai])
+				}
+			}
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := sampleProgram(t).String()
+	if !strings.Contains(s, "r0 = open(") {
+		t.Fatalf("String missing result prefix:\n%s", s)
+	}
+	if !strings.Contains(s, "fd=r0") {
+		t.Fatalf("String missing result ref:\n%s", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"no_such_call()",
+		"open(path=zzz)",
+		"open path=1",
+		"read(fd=r9, count=1)", // forward/undefined ref
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c), syscalls.Default()); err == nil {
+			t.Errorf("ParseText accepted %q", c)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlank(t *testing.T) {
+	text := "# header\n\n\ngetpid()\n# trailing\n"
+	c, err := ParseText(strings.NewReader(text), syscalls.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Programs) != 1 || c.NumCalls() != 1 {
+		t.Fatalf("got %d programs / %d calls", len(c.Programs), c.NumCalls())
+	}
+}
+
+// Property: any randomly assembled valid program round-trips through the
+// text format unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	tab := syscalls.Default()
+	if err := quick.Check(func(seed uint32, n uint8) bool {
+		src := rng.New(uint64(seed))
+		p := &Program{}
+		length := int(n%12) + 1
+		for i := 0; i < length; i++ {
+			spec := tab.Get(syscalls.ID(src.Intn(tab.Len())))
+			call := Call{Syscall: spec.ID()}
+			for range spec.Args {
+				call.Args = append(call.Args, Const(src.Uint64()%1e6))
+			}
+			p.Calls = append(p.Calls, call)
+		}
+		var sb strings.Builder
+		c := &Corpus{Programs: []*Program{p}}
+		if err := WriteText(&sb, c, tab); err != nil {
+			return false
+		}
+		got, err := ParseText(strings.NewReader(sb.String()), tab)
+		if err != nil || len(got.Programs) != 1 {
+			return false
+		}
+		q := got.Programs[0]
+		if len(q.Calls) != len(p.Calls) {
+			return false
+		}
+		for i := range p.Calls {
+			if p.Calls[i].Syscall != q.Calls[i].Syscall {
+				return false
+			}
+			for j := range p.Calls[i].Args {
+				if p.Calls[i].Args[j] != q.Calls[i].Args[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerExecutesSequentially(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{
+		Name: "r", Cores: 1, MemGB: 1, Params: kernel.Params{Quiet: true},
+	}, rng.New(3))
+	r := NewRunner(eng, k, 0, syscalls.Default())
+	p := sampleProgram(t)
+	var order []int
+	var lats []sim.Time
+	doneRan := false
+	r.Run(p, func(i int, lat sim.Time) {
+		order = append(order, i)
+		lats = append(lats, lat)
+	}, func() { doneRan = true })
+	eng.Run()
+	if !doneRan {
+		t.Fatal("done callback never ran")
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("call order = %v", order)
+	}
+	for i, lat := range lats {
+		if lat <= 0 {
+			t.Fatalf("call %d latency %v", i, lat)
+		}
+	}
+}
+
+func TestRunnerResolvesResults(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{
+		Name: "r", Cores: 1, MemGB: 1, Params: kernel.Params{Quiet: true},
+	}, rng.New(3))
+	r := NewRunner(eng, k, 0, syscalls.Default())
+	// open returns a new fd index (3 for a fresh proc); read(fd=r0) must
+	// therefore act on a file, not a pipe — observable via fd table state.
+	p := sampleProgram(t)
+	before := r.Proc.NumFDs()
+	r.Run(p, nil, nil)
+	eng.Run()
+	if r.Proc.NumFDs() != before+1 {
+		t.Fatalf("open did not add exactly one fd: %d -> %d", before, r.Proc.NumFDs())
+	}
+}
+
+func TestRunnerEmptyProgram(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{Name: "r", Cores: 1, MemGB: 1, Params: kernel.Params{Quiet: true}}, rng.New(3))
+	r := NewRunner(eng, k, 0, syscalls.Default())
+	done := false
+	r.Run(&Program{}, nil, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("empty program did not complete")
+	}
+}
+
+func TestNumCalls(t *testing.T) {
+	c := &Corpus{}
+	if c.NumCalls() != 0 {
+		t.Fatal("empty corpus call count")
+	}
+	c.Add(sampleProgram(t))
+	if c.NumCalls() != 3 {
+		t.Fatalf("NumCalls = %d", c.NumCalls())
+	}
+}

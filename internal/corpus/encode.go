@@ -1,0 +1,162 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ksa/internal/syscalls"
+)
+
+// The text format, one call per line:
+//
+//	r0 = open(path=0x5, flags=0x42)
+//	read(fd=r0, count=0x1000)
+//
+// Programs are separated by blank lines; '#' starts a comment. Calls whose
+// spec returns a resource get an "rN = " prefix, where N is the call index.
+
+// WriteText serializes the corpus.
+func WriteText(w io.Writer, c *Corpus, tab *syscalls.Table) error {
+	bw := bufio.NewWriter(w)
+	for pi, p := range c.Programs {
+		if pi > 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "# program %d\n", pi)
+		for ci, call := range p.Calls {
+			spec := tab.Get(call.Syscall)
+			if spec.Returns != syscalls.ResNone {
+				fmt.Fprintf(bw, "r%d = ", ci)
+			}
+			fmt.Fprintf(bw, "%s(", spec.Name)
+			for ai, a := range call.Args {
+				if ai > 0 {
+					fmt.Fprint(bw, ", ")
+				}
+				name := fmt.Sprintf("a%d", ai)
+				if ai < len(spec.Args) {
+					name = spec.Args[ai].Name
+				}
+				switch a.Kind {
+				case ValResult:
+					fmt.Fprintf(bw, "%s=r%d", name, a.X)
+				default:
+					fmt.Fprintf(bw, "%s=%#x", name, a.X)
+				}
+			}
+			fmt.Fprintln(bw, ")")
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders one program in the text format.
+func (p *Program) String() string {
+	var sb strings.Builder
+	c := &Corpus{Programs: []*Program{p}}
+	_ = WriteText(&sb, c, syscalls.Default())
+	return sb.String()
+}
+
+// ParseText reads a corpus in the text format. Parsing is strict: unknown
+// syscalls, malformed arguments, or forward result references are errors.
+func ParseText(r io.Reader, tab *syscalls.Table) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	c := &Corpus{}
+	var cur *Program
+	lineNo := 0
+	flush := func() {
+		if cur != nil && len(cur.Calls) > 0 {
+			c.Add(cur)
+		}
+		cur = nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		call, err := parseCall(line, tab)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil {
+			cur = &Program{}
+		}
+		cur.Calls = append(cur.Calls, call)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	for i, p := range c.Programs {
+		if err := p.Validate(tab); err != nil {
+			return nil, fmt.Errorf("program %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+func parseCall(line string, tab *syscalls.Table) (Call, error) {
+	// Optional "rN = " prefix.
+	if eq := strings.Index(line, "="); eq > 0 {
+		head := strings.TrimSpace(line[:eq])
+		if len(head) > 1 && head[0] == 'r' && !strings.ContainsAny(head, "( ") {
+			line = strings.TrimSpace(line[eq+1:])
+		}
+	}
+	open := strings.Index(line, "(")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return Call{}, fmt.Errorf("malformed call %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	spec := tab.Lookup(name)
+	if spec == nil {
+		return Call{}, fmt.Errorf("unknown syscall %q", name)
+	}
+	call := Call{Syscall: spec.ID()}
+	inner := strings.TrimSpace(line[open+1 : len(line)-1])
+	if inner == "" {
+		return call, nil
+	}
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		val := part
+		if eq := strings.Index(part, "="); eq >= 0 {
+			val = strings.TrimSpace(part[eq+1:])
+		}
+		av, err := parseValue(val)
+		if err != nil {
+			return Call{}, fmt.Errorf("call %s: %w", name, err)
+		}
+		call.Args = append(call.Args, av)
+	}
+	return call, nil
+}
+
+func parseValue(s string) (ArgValue, error) {
+	if s == "" {
+		return ArgValue{}, fmt.Errorf("empty value")
+	}
+	if s[0] == 'r' {
+		n, err := strconv.ParseUint(s[1:], 10, 32)
+		if err != nil {
+			return ArgValue{}, fmt.Errorf("bad result ref %q", s)
+		}
+		return Result(int(n)), nil
+	}
+	n, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return ArgValue{}, fmt.Errorf("bad literal %q", s)
+	}
+	return Const(n), nil
+}

@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"ksa/internal/kernel"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
+)
+
+// InterCallGap is the modeled user-space time between consecutive syscalls
+// of a program (argument setup, loop overhead). The paper's workloads are
+// deliberately minimally hardware-intensive, so the gap is tiny.
+const InterCallGap = 150 * sim.Nanosecond
+
+// Runner executes programs on one core of one kernel with a persistent
+// process context, resolving result references as calls complete.
+type Runner struct {
+	Table *syscalls.Table
+	Eng   *sim.Engine
+	Kern  *kernel.Kernel
+	Core  int
+	Proc  *syscalls.Proc
+	// Cov receives coverage; nil means discard.
+	Cov syscalls.CoverageSink
+	// PolluteCaches marks this runner as a cache-polluting co-tenant: each
+	// program run registers its breadth (touching fresh files, mappings,
+	// pipes) with the kernel, degrading other tenants' cache hit rates.
+	// Single-tenant measurement harnesses leave it false — the calibrated
+	// baseline hit rates already reflect the corpus's self-pollution.
+	PolluteCaches bool
+}
+
+// NewRunner builds a runner with a fresh process on the given core. A nil
+// table means syscalls.Default().
+func NewRunner(eng *sim.Engine, k *kernel.Kernel, core int, tab *syscalls.Table) *Runner {
+	if tab == nil {
+		tab = syscalls.Default()
+	}
+	proc := syscalls.NewProc(eng)
+	// Each rank works on private kernel objects (its own directory, its own
+	// mappings); the salt keeps its hashes off other ranks' shards.
+	proc.Salt = uint64(core+1) * 0xbf58476d1ce4e5b9
+	return &Runner{
+		Table: tab,
+		Eng:   eng,
+		Kern:  k,
+		Core:  core,
+		Proc:  proc,
+		Cov:   syscalls.NopCoverage{},
+	}
+}
+
+// Run executes the program call-by-call. perCall, if non-nil, receives each
+// call's index and latency; done, if non-nil, runs after the last call.
+// Run returns immediately; execution proceeds in virtual time on the
+// engine.
+func (r *Runner) Run(p *Program, perCall func(i int, lat sim.Time), done func()) {
+	if r.PolluteCaches {
+		r.Kern.Pollute(float64(len(p.Calls)))
+	}
+	results := make([]uint64, len(p.Calls))
+	var exec func(i int)
+	exec = func(i int) {
+		if i >= len(p.Calls) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		call := p.Calls[i]
+		spec := r.Table.Get(call.Syscall)
+		args := make([]uint64, len(call.Args))
+		for j, a := range call.Args {
+			switch a.Kind {
+			case ValResult:
+				args[j] = results[a.X]
+			default:
+				args[j] = a.X
+			}
+		}
+		ctx := &syscalls.Ctx{Kern: r.Kern, Core: r.Core, Proc: r.Proc, Cov: r.Cov}
+		ops, ret := spec.Compile(ctx, args)
+		results[i] = ret
+		r.Kern.Submit(r.Core, &kernel.Task{
+			Ops:       ops,
+			AddrSpace: r.Proc.MM,
+			OnDone: func(lat sim.Time) {
+				if perCall != nil {
+					perCall(i, lat)
+				}
+				r.Eng.After(InterCallGap, func() { exec(i + 1) })
+			},
+		})
+	}
+	exec(0)
+}

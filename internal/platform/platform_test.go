@@ -1,0 +1,197 @@
+package platform
+
+import (
+	"testing"
+
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+)
+
+func TestNativeLayout(t *testing.T) {
+	eng := sim.NewEngine()
+	e := Native(eng, PaperMachine, rng.New(1))
+	if e.NumCores() != 64 || len(e.Kernels) != 1 {
+		t.Fatalf("native: %d cores, %d kernels", e.NumCores(), len(e.Kernels))
+	}
+	if e.Kernels[0].Virtualized() {
+		t.Fatal("native kernel reports virtualized")
+	}
+	if e.Kernels[0].NumCores() != 64 || e.Kernels[0].MemGB() != 32 {
+		t.Fatal("native kernel surface area wrong")
+	}
+	for i := 0; i < 64; i++ {
+		ref := e.Core(i)
+		if ref.Kernel != e.Kernels[0] || ref.Core != i {
+			t.Fatalf("core map wrong at %d", i)
+		}
+	}
+}
+
+func TestVMPartitioning(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		eng := sim.NewEngine()
+		e := VMs(eng, PaperMachine, n, rng.New(1))
+		if len(e.Kernels) != n {
+			t.Fatalf("%d VMs: got %d kernels", n, len(e.Kernels))
+		}
+		if e.NumCores() != 64 {
+			t.Fatalf("%d VMs: %d total cores", n, e.NumCores())
+		}
+		for _, k := range e.Kernels {
+			if k.NumCores() != 64/n {
+				t.Fatalf("%d VMs: kernel has %d cores", n, k.NumCores())
+			}
+			if k.MemGB() != 32/float64(n) {
+				t.Fatalf("%d VMs: kernel has %v GB", n, k.MemGB())
+			}
+			if !k.Virtualized() {
+				t.Fatalf("%d VMs: guest not virtualized", n)
+			}
+		}
+		if e.HostBlock == nil {
+			t.Fatal("VM env missing host block device")
+		}
+	}
+}
+
+func TestVMsRejectUneven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("uneven partition did not panic")
+		}
+	}()
+	VMs(sim.NewEngine(), PaperMachine, 3, rng.New(1))
+}
+
+func TestContainersShareOneKernel(t *testing.T) {
+	eng := sim.NewEngine()
+	e := Containers(eng, PaperMachine, 16, rng.New(1))
+	if len(e.Kernels) != 1 {
+		t.Fatalf("containers built %d kernels", len(e.Kernels))
+	}
+	k := e.Kernels[0]
+	if k.Virtualized() {
+		t.Fatal("container kernel reports virtualized")
+	}
+	if k.NumCores() != 64 {
+		t.Fatal("container kernel does not manage the full machine")
+	}
+	if k.Params().EntryOverhead == 0 {
+		t.Fatal("containers should pay namespace entry overhead")
+	}
+}
+
+func TestContainerNoiseScalesWithCount(t *testing.T) {
+	e1 := Containers(sim.NewEngine(), PaperMachine, 1, rng.New(1))
+	e64 := Containers(sim.NewEngine(), PaperMachine, 64, rng.New(1))
+	p1, p64 := e1.Kernels[0].Params(), e64.Kernels[0].Params()
+	if p64.NoiseMeanGap >= p1.NoiseMeanGap {
+		t.Fatal("64 containers should densify housekeeping")
+	}
+	if p64.NoiseMaxBurst <= p1.NoiseMaxBurst {
+		t.Fatal("64 containers should lengthen worst bursts")
+	}
+}
+
+func TestContainersRejectNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 containers did not panic")
+		}
+	}()
+	Containers(sim.NewEngine(), PaperMachine, 0, rng.New(1))
+}
+
+func TestVMConfigTableMatchesPaper(t *testing.T) {
+	rows := VMConfigTable(PaperMachine)
+	wantVMs := []int{1, 2, 4, 8, 16, 32, 64}
+	wantCores := []int{64, 32, 16, 8, 4, 2, 1}
+	wantMem := []float64{32, 16, 8, 4, 2, 1, 0.5}
+	if len(rows) != len(wantVMs) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.VMs != wantVMs[i] || r.CoresPer != wantCores[i] || r.MemGBPer != wantMem[i] {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNative.String() != "native" || KindVMs.String() != "kvm" || KindContainers.String() != "docker" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// The headline surface-area property: a guest in the 64-VM configuration
+// has a far smaller noise ceiling than the native kernel.
+func TestSurfaceAreaNoiseOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	nat := Native(eng, PaperMachine, rng.New(1))
+	vms := VMs(sim.NewEngine(), PaperMachine, 64, rng.New(1))
+	natCap := nat.Kernels[0].Params().NoiseMaxBurst
+	vmCap := vms.Kernels[0].Params().NoiseMaxBurst
+	if vmCap*10 > natCap {
+		t.Fatalf("1-core guest noise cap %v not <<< native %v", vmCap, natCap)
+	}
+}
+
+// Virtualization must be a bounded median tax: identical single tasks on
+// native vs a 64-VM guest differ by a bounded small factor.
+func TestVirtTaxBounded(t *testing.T) {
+	run := func(e *Environment) sim.Time {
+		ref := e.Core(0)
+		var l kernel.OpList
+		l.Compute(2 * sim.Microsecond)
+		var got sim.Time
+		ref.Kernel.Submit(ref.Core, &kernel.Task{Ops: l.Ops(), OnDone: func(lat sim.Time) { got = lat }})
+		e.Eng.Run()
+		return got
+	}
+	natEng := sim.NewEngine()
+	nat := Native(natEng, PaperMachine, rng.New(9))
+	vmEng := sim.NewEngine()
+	vm := VMs(vmEng, PaperMachine, 64, rng.New(9))
+	tn, tv := run(nat), run(vm)
+	if tv <= tn {
+		t.Fatalf("virtualized task (%v) not slower than native (%v)", tv, tn)
+	}
+	if tv > 2*tn {
+		t.Fatalf("virtualization tax unbounded: %v vs %v", tv, tn)
+	}
+}
+
+func TestLightVMsLayout(t *testing.T) {
+	eng := sim.NewEngine()
+	e := LightVMs(eng, PaperMachine, 4, rng.New(1))
+	if e.Kind != KindLightVMs || e.Kind.String() != "lightvm" {
+		t.Fatal("wrong kind")
+	}
+	if len(e.Kernels) != 4 || e.NumCores() != 64 {
+		t.Fatal("wrong partitioning")
+	}
+	for _, k := range e.Kernels {
+		if !k.Virtualized() {
+			t.Fatal("microVM guest not virtualized")
+		}
+	}
+}
+
+func TestLightVMTaxBelowKVMs(t *testing.T) {
+	host := sim.NewSemaphore(sim.NewEngine(), "h", 8)
+	light, kvm := LightVirtModel(host), DefaultVirtModel(host)
+	if light.ExitCost >= kvm.ExitCost || light.ComputeDilation >= kvm.ComputeDilation ||
+		light.PerTaskOverhead >= kvm.PerTaskOverhead || light.VirtioRelay >= kvm.VirtioRelay {
+		t.Fatal("lightweight VM tax not below classic KVM's")
+	}
+}
+
+func TestFromKernelWraps(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{Name: "abl", Cores: 4, MemGB: 2}, rng.New(1))
+	e := FromKernel(eng, k)
+	if e.NumCores() != 4 || e.Kernels[0] != k || e.Core(3).Core != 3 {
+		t.Fatal("FromKernel wiring wrong")
+	}
+}

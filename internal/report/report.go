@@ -1,0 +1,141 @@
+// Package report renders experiment results as aligned text tables and CSV
+// series, matching the layouts of the paper's tables and figures so that a
+// reader can compare side by side.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ksa/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// BreakdownTable builds a Table 2/3-style table: one row per configuration,
+// cumulative decade-bucket percentages as columns.
+func BreakdownTable(title string, rowLabel string, labels []string, rows []stats.Breakdown) *Table {
+	t := &Table{Title: title}
+	t.Headers = append([]string{rowLabel}, stats.BucketLabels...)
+	for i, b := range rows {
+		t.AddRow(append([]string{labels[i]}, b.Row()...)...)
+	}
+	return t
+}
+
+// ViolinTable renders Figure 2-style violin summaries: one row per
+// configuration with the distribution's landmarks in microseconds.
+func ViolinTable(title string, rowLabel string, labels []string, violins []stats.Violin) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{rowLabel, "n", "min", "p2.5", "q1", "median", "q3", "p97.5", "max"},
+	}
+	for i, v := range violins {
+		t.AddRow(labels[i],
+			fmt.Sprintf("%d", v.N),
+			fmtUs(v.Min), fmtUs(v.P2_5), fmtUs(v.Q1), fmtUs(v.Median),
+			fmtUs(v.Q3), fmtUs(v.P97_5), fmtUs(v.Max))
+	}
+	return t
+}
+
+// fmtUs renders a microsecond quantity with an adaptive unit.
+func fmtUs(us float64) string {
+	switch {
+	case us >= 10000:
+		return fmt.Sprintf("%.1fms", us/1000)
+	case us >= 1000:
+		return fmt.Sprintf("%.2fms", us/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", us)
+	}
+}
+
+// GroupedBars renders a Figure 3/4-style grouped bar summary: one row per
+// group (application), one column per series (environment).
+func GroupedBars(title string, groupLabel string, series []string, groups []string, values [][]float64, format func(float64) string) *Table {
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	}
+	t := &Table{Title: title, Headers: append([]string{groupLabel}, series...)}
+	for gi, g := range groups {
+		row := []string{g}
+		for si := range series {
+			row = append(row, format(values[gi][si]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// WriteCSV emits headers and rows as CSV (no quoting needs arise in our
+// outputs: labels are identifiers, cells are numbers).
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

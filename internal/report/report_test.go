@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ksa/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "longheader"}}
+	tab.AddRow("xxxxxx", "1")
+	tab.AddRow("y", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// Header and row lines must be the same width (aligned columns).
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "longheader") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	rows := []stats.Breakdown{
+		stats.BreakdownOf([]float64{0.5, 5, 50}),
+		stats.BreakdownOf([]float64{500, 5000, 50000}),
+	}
+	tab := BreakdownTable("title", "env", []string{"native", "kvm"}, rows)
+	out := tab.String()
+	for _, want := range []string{"native", "kvm", "1µs", ">10ms", "33.33"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestViolinTable(t *testing.T) {
+	s := stats.NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i) * 100) // 100µs .. 10ms
+	}
+	v := stats.ViolinOf(s, 0)
+	tab := ViolinTable("fig", "cfg", []string{"1 VM"}, []stats.Violin{v})
+	out := tab.String()
+	for _, want := range []string{"1 VM", "median", "100.0µs", "10.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtUsUnits(t *testing.T) {
+	cases := map[float64]string{
+		5:     "5.0µs",
+		999:   "999.0µs",
+		1500:  "1.50ms",
+		25000: "25.0ms",
+	}
+	for in, want := range cases {
+		if got := fmtUs(in); got != want {
+			t.Errorf("fmtUs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	tab := GroupedBars("fig3", "app", []string{"KVM", "Docker"},
+		[]string{"xapian", "silo"},
+		[][]float64{{1.5, 2.5}, {3.5, 4.5}}, nil)
+	out := tab.String()
+	for _, want := range []string{"xapian", "silo", "KVM", "Docker", "1.5", "4.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at a virtual time. Ties are broken by
+// insertion sequence so runs are fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Engine is a deterministic discrete-event executor. It is not safe for
+// concurrent use; the entire simulation runs single-threaded, which is a
+// design choice, not a limitation — determinism is what lets experiments be
+// reproduced bit-for-bit from a seed.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	nRun   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the total number of events run so far (a cheap progress
+// and cost metric for benchmarks).
+func (e *Engine) Executed() uint64 { return e.nRun }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if e.events.empty() {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if no event lands exactly there).
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.events.empty() && e.events.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events within the next d of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{1500 * Nanosecond, "1.50µs"},
+		{2500 * Microsecond, "2.50ms"},
+		{3 * Second, "3.000s"},
+		{-500 * Nanosecond, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromMicros(2.5) != 2500*Nanosecond {
+		t.Errorf("FromMicros(2.5) = %v", FromMicros(2.5))
+	}
+	if FromMillis(1.5) != 1500*Microsecond {
+		t.Errorf("FromMillis(1.5) = %v", FromMillis(1.5))
+	}
+	if FromMicros(-1) != 0 || FromMillis(-1) != 0 {
+		t.Error("negative conversions should clamp to zero")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Error("Millis conversion wrong")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (1500 * Nanosecond).Micros() != 1.5 {
+		t.Error("Micros conversion wrong")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling produced %v", hits)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-5, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("After(-5) ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { hits = append(hits, at) })
+	}
+	e.RunUntil(12)
+	if len(hits) != 2 {
+		t.Fatalf("RunUntil(12) ran %d events, want 2", len(hits))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock at %v after RunUntil(12)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", e.Pending())
+	}
+	e.RunFor(8)
+	if len(hits) != 4 || e.Now() != 20 {
+		t.Fatalf("RunFor(8): hits=%v now=%v", hits, e.Now())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7", e.Executed())
+	}
+}
+
+// Property: for any batch of events, the engine visits them in
+// non-decreasing time order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	if err := quick.Check(func(offsets []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(offsets)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

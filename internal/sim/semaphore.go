@@ -1,0 +1,76 @@
+package sim
+
+// Semaphore is a counting FIFO resource: up to Cap holders at once, waiters
+// granted in arrival order. It models resources with internal parallelism,
+// such as an SSD serving several outstanding requests concurrently.
+type Semaphore struct {
+	eng  *Engine
+	name string
+	cap  int
+
+	inUse   int
+	waiters []func()
+
+	acquires  uint64
+	contended uint64
+	maxQueue  int
+}
+
+// NewSemaphore returns a semaphore with the given capacity (>= 1).
+func NewSemaphore(eng *Engine, name string, capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("sim: semaphore capacity must be >= 1")
+	}
+	return &Semaphore{eng: eng, name: name, cap: capacity}
+}
+
+// Name returns the diagnostic name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Cap returns the capacity.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// InUse returns the number of current holders.
+func (s *Semaphore) InUse() int { return s.inUse }
+
+// QueueLen returns the number of queued waiters.
+func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+
+// Acquires returns total grants so far.
+func (s *Semaphore) Acquires() uint64 { return s.acquires }
+
+// Contended returns grants that had to wait.
+func (s *Semaphore) Contended() uint64 { return s.contended }
+
+// MaxQueue returns the longest waiter queue observed.
+func (s *Semaphore) MaxQueue() int { return s.maxQueue }
+
+// Acquire requests one slot; granted runs synchronously if a slot is free,
+// otherwise when one is released.
+func (s *Semaphore) Acquire(granted func()) {
+	s.acquires++
+	if s.inUse < s.cap {
+		s.inUse++
+		granted()
+		return
+	}
+	s.contended++
+	s.waiters = append(s.waiters, granted)
+	if len(s.waiters) > s.maxQueue {
+		s.maxQueue = len(s.waiters)
+	}
+}
+
+// Release frees one slot, granting the oldest waiter if any.
+func (s *Semaphore) Release() {
+	if s.inUse <= 0 {
+		panic("sim: Release of unheld semaphore " + s.name)
+	}
+	if len(s.waiters) == 0 {
+		s.inUse--
+		return
+	}
+	next := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	next()
+}

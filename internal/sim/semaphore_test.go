@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSemaphoreParallelWithinCap(t *testing.T) {
+	eng := NewEngine()
+	s := NewSemaphore(eng, "s", 3)
+	granted := 0
+	for i := 0; i < 3; i++ {
+		s.Acquire(func() { granted++ })
+	}
+	if granted != 3 || s.InUse() != 3 || s.QueueLen() != 0 {
+		t.Fatalf("granted=%d inUse=%d queue=%d", granted, s.InUse(), s.QueueLen())
+	}
+}
+
+func TestSemaphoreQueuesBeyondCap(t *testing.T) {
+	eng := NewEngine()
+	s := NewSemaphore(eng, "s", 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Acquire(func() { order = append(order, i) })
+	}
+	if len(order) != 1 || s.QueueLen() != 2 {
+		t.Fatalf("order=%v queue=%d", order, s.QueueLen())
+	}
+	s.Release()
+	s.Release()
+	if len(order) != 3 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+	if s.Contended() != 2 || s.Acquires() != 3 || s.MaxQueue() != 2 {
+		t.Fatalf("stats: %d %d %d", s.Contended(), s.Acquires(), s.MaxQueue())
+	}
+}
+
+func TestSemaphoreReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSemaphore(NewEngine(), "s", 1).Release()
+}
+
+func TestSemaphoreBadCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSemaphore(NewEngine(), "s", 0)
+}
+
+func TestSemaphoreName(t *testing.T) {
+	s := NewSemaphore(NewEngine(), "disk", 2)
+	if s.Name() != "disk" || s.Cap() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// Property: for any request pattern and capacity, every request is
+// eventually granted and in-use never exceeds capacity.
+func TestSemaphoreDrainProperty(t *testing.T) {
+	if err := quick.Check(func(capRaw uint8, arrivals []uint8) bool {
+		capacity := int(capRaw%6) + 1
+		eng := NewEngine()
+		s := NewSemaphore(eng, "p", capacity)
+		grants := 0
+		ok := true
+		for _, a := range arrivals {
+			at := Time(a)
+			eng.At(at, func() {
+				s.Acquire(func() {
+					grants++
+					if s.InUse() > capacity {
+						ok = false
+					}
+					eng.After(5, s.Release)
+				})
+			})
+		}
+		eng.Run()
+		return ok && grants == len(arrivals) && s.QueueLen() == 0
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

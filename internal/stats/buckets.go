@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecadeBuckets are the latency thresholds of Tables 2 and 3, in
+// microseconds: 1µs, 10µs, 100µs, 1ms, 10ms. A sixth implicit bucket
+// ">10ms" holds everything else.
+var DecadeBuckets = []float64{1, 10, 100, 1000, 10000}
+
+// BucketLabels are the printable headers for DecadeBuckets plus the
+// overflow bucket, in table order.
+var BucketLabels = []string{"1µs", "10µs", "100µs", "1ms", "10ms", ">10ms"}
+
+// Breakdown is a cumulative decade-bucket breakdown: Under[i] is the
+// percentage of observations strictly below DecadeBuckets[i], and Over is
+// the percentage at or above the last threshold. This is exactly the shape
+// of a row of Table 2 or Table 3.
+type Breakdown struct {
+	Under [5]float64
+	Over  float64
+	N     int
+}
+
+// BreakdownOf classifies each value (microseconds) against DecadeBuckets
+// and returns cumulative percentages.
+func BreakdownOf(values []float64) Breakdown {
+	var b Breakdown
+	b.N = len(values)
+	if b.N == 0 {
+		return b
+	}
+	counts := [5]int{}
+	over := 0
+	for _, v := range values {
+		placed := false
+		for i, th := range DecadeBuckets {
+			if v < th {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			over++
+		}
+	}
+	// Cumulative: Under[i] counts everything below threshold i.
+	cum := 0
+	for i := range counts {
+		cum += counts[i]
+		b.Under[i] = 100 * float64(cum) / float64(b.N)
+	}
+	b.Over = 100 * float64(over) / float64(b.N)
+	return b
+}
+
+// Row renders the breakdown as table cells (percentages with two decimals),
+// matching the paper's layout: five cumulative columns plus the overflow.
+func (b Breakdown) Row() []string {
+	cells := make([]string, 0, 6)
+	for _, u := range b.Under {
+		cells = append(cells, fmt.Sprintf("%.2f", u))
+	}
+	cells = append(cells, fmt.Sprintf("%.2f", b.Over))
+	return cells
+}
+
+// Histogram is a fixed-boundary histogram over latencies, used for density
+// summaries and CDF dumps.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds; final bucket is unbounded
+	Counts []int     // len(Bounds)+1
+	total  int
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int, len(bounds)+1)}
+}
+
+// LogHistogram builds a histogram with n log-spaced bounds spanning
+// [lo, hi] (both > 0).
+func LogHistogram(lo, hi float64, n int) *Histogram {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: bad log histogram parameters")
+	}
+	bounds := make([]float64, n)
+	ratio := hi / lo
+	for i := range bounds {
+		bounds[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return NewHistogram(bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.Bounds)
+	for i, b := range h.Bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns per-bucket fractions of the total (zeroes if empty).
+func (h *Histogram) Fractions() []float64 {
+	fr := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return fr
+	}
+	for i, c := range h.Counts {
+		fr[i] = float64(c) / float64(h.total)
+	}
+	return fr
+}

@@ -1,0 +1,134 @@
+// Package stats provides the statistical machinery the paper's analysis
+// relies on: exact quantiles over latency samples, the decade-bucket
+// breakdowns of Tables 2 and 3, and the violin summaries of Figure 2.
+//
+// Latencies are carried as float64 microseconds, matching the units the
+// paper reports (1µs / 10µs / 100µs / 1ms / 10ms buckets).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a mutable collection of observations (microseconds).
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{vals: make([]float64, 0, capacity)}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.vals = append(s.vals, vs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Values returns the observations in sorted order. The returned slice is
+// owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.vals
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics. It panics on an empty sample — asking for a
+// quantile of nothing is always a harness bug.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s.sort()
+	if len(s.vals) == 1 {
+		return s.vals[0]
+	}
+	pos := q * float64(len(s.vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P99 returns the 0.99 quantile, the paper's headline tail metric.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Max returns the worst-case observation.
+func (s *Sample) Max() float64 {
+	s.sort()
+	return s.vals[len(s.vals)-1]
+}
+
+// Min returns the best-case observation.
+func (s *Sample) Min() float64 {
+	s.sort()
+	return s.vals[0]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		panic("stats: mean of empty sample")
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.vals)))
+}
+
+// CoV returns the coefficient of variation (stddev/mean), a scale-free
+// variability measure.
+func (s *Sample) CoV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stddev() / m
+}
+
+// Reset discards all observations but keeps the allocation.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = true
+}

@@ -1,0 +1,352 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(vs ...float64) *Sample {
+	s := NewSample(len(vs))
+	s.AddAll(vs)
+	return s
+}
+
+func TestQuantileExact(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5)
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	s := sampleOf(0, 10)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) of {0,10} = %v, want 5", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-9.9) > 1e-9 {
+		t.Errorf("Quantile(0.99) = %v, want 9.9", got)
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	s := sampleOf(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("singleton Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSample(0).Quantile(0.5) },
+		func() { sampleOf(1).Quantile(-0.1) },
+		func() { sampleOf(1).Quantile(1.1) },
+		func() { NewSample(0).Mean() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMinMaxMeanStddev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Stddev() != 2 {
+		t.Errorf("stddev = %v, want 2", s.Stddev())
+	}
+	if math.Abs(s.CoV()-0.4) > 1e-12 {
+		t.Errorf("CoV = %v, want 0.4", s.CoV())
+	}
+}
+
+func TestCoVZeroMean(t *testing.T) {
+	if got := sampleOf(0, 0, 0).CoV(); got != 0 {
+		t.Errorf("CoV of zeros = %v", got)
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	s := sampleOf(1, 2, 3)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	s.Add(9)
+	if s.Median() != 9 {
+		t.Fatal("sample unusable after Reset")
+	}
+}
+
+func TestAddAfterSortStaysCorrect(t *testing.T) {
+	s := sampleOf(5, 1)
+	_ = s.Median() // forces sort
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatal("Add after sort not re-sorted")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := s.Quantile(q1), s.Quantile(q2)
+		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownOf(t *testing.T) {
+	// 0.5µs, 5µs, 50µs, 500µs, 5ms, 50ms — one value per bucket.
+	b := BreakdownOf([]float64{0.5, 5, 50, 500, 5000, 50000})
+	wantUnder := [5]float64{100.0 / 6, 200.0 / 6, 300.0 / 6, 400.0 / 6, 500.0 / 6}
+	for i := range wantUnder {
+		if math.Abs(b.Under[i]-wantUnder[i]) > 1e-9 {
+			t.Errorf("Under[%d] = %v, want %v", i, b.Under[i], wantUnder[i])
+		}
+	}
+	if math.Abs(b.Over-100.0/6) > 1e-9 {
+		t.Errorf("Over = %v", b.Over)
+	}
+	if b.N != 6 {
+		t.Errorf("N = %d", b.N)
+	}
+}
+
+func TestBreakdownCumulative(t *testing.T) {
+	b := BreakdownOf([]float64{0.5, 0.6, 0.7})
+	for i, u := range b.Under {
+		if u != 100 {
+			t.Errorf("all sub-µs values: Under[%d] = %v, want 100", i, u)
+		}
+	}
+	if b.Over != 0 {
+		t.Errorf("Over = %v", b.Over)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := BreakdownOf(nil)
+	if b.N != 0 || b.Over != 0 {
+		t.Errorf("empty breakdown = %+v", b)
+	}
+}
+
+func TestBreakdownRow(t *testing.T) {
+	row := BreakdownOf([]float64{0.5, 5000000}).Row()
+	if len(row) != 6 {
+		t.Fatalf("row has %d cells", len(row))
+	}
+	if row[0] != "50.00" || row[5] != "50.00" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+// Property: breakdown percentages are monotone non-decreasing across the
+// cumulative columns and Under[4]+Over == 100 for non-empty inputs.
+func TestBreakdownProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) / 100
+		}
+		b := BreakdownOf(vals)
+		for i := 1; i < 5; i++ {
+			if b.Under[i] < b.Under[i-1] {
+				return false
+			}
+		}
+		return math.Abs(b.Under[4]+b.Over-100) < 1e-9
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	want := []int{1, 1, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("Counts[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	fr := h.Fractions()
+	for _, f := range fr {
+		if f != 0.25 {
+			t.Errorf("Fractions = %v", fr)
+		}
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := LogHistogram(1, 10000, 5)
+	if len(h.Bounds) != 5 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+	if math.Abs(h.Bounds[0]-1) > 1e-9 || math.Abs(h.Bounds[4]-10000) > 1e-6 {
+		t.Errorf("log bounds endpoints: %v", h.Bounds)
+	}
+	// Check log spacing: constant ratio.
+	r := h.Bounds[1] / h.Bounds[0]
+	for i := 2; i < 5; i++ {
+		if math.Abs(h.Bounds[i]/h.Bounds[i-1]-r) > 1e-6 {
+			t.Errorf("not log-spaced: %v", h.Bounds)
+		}
+	}
+}
+
+func TestLogHistogramBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	LogHistogram(0, 10, 5)
+}
+
+func TestEmptyHistogramFractions(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	fr := h.Fractions()
+	if fr[0] != 0 || fr[1] != 0 {
+		t.Errorf("empty fractions = %v", fr)
+	}
+}
+
+func TestViolinSummary(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	v := ViolinOf(s, 16)
+	if v.N != 100 || v.Min != 1 || v.Max != 100 {
+		t.Errorf("violin basics: %+v", v)
+	}
+	if v.Median < 50 || v.Median > 51 {
+		t.Errorf("median = %v", v.Median)
+	}
+	if v.Q1 >= v.Median || v.Q3 <= v.Median {
+		t.Errorf("IQR box wrong: Q1=%v med=%v Q3=%v", v.Q1, v.Median, v.Q3)
+	}
+	if v.P2_5 > v.Q1 || v.P97_5 < v.Q3 {
+		t.Errorf("95%% band inside IQR: %+v", v)
+	}
+	if len(v.Density) != 16 || len(v.DensityAt) != 16 {
+		t.Fatalf("density length %d", len(v.Density))
+	}
+	peak := 0.0
+	for _, d := range v.Density {
+		if d < 0 || d > 1 {
+			t.Errorf("density out of [0,1]: %v", d)
+		}
+		if d > peak {
+			peak = d
+		}
+	}
+	if math.Abs(peak-1) > 1e-9 {
+		t.Errorf("density not normalized to peak 1: %v", peak)
+	}
+}
+
+func TestViolinNoDensityForTinySample(t *testing.T) {
+	v := ViolinOf(sampleOf(5), 16)
+	if len(v.Density) != 0 {
+		t.Error("singleton sample should have no density profile")
+	}
+	v = ViolinOf(sampleOf(5, 5, 5), 16)
+	if len(v.Density) != 0 {
+		t.Error("zero-range sample should have no density profile")
+	}
+}
+
+func TestViolinTailMass(t *testing.T) {
+	s := NewSample(0)
+	// Bimodal: most mass near 1, some near 1000.
+	for i := 0; i < 90; i++ {
+		s.Add(1 + float64(i%10)*0.01)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(1000 + float64(i))
+	}
+	v := ViolinOf(s, 32)
+	low := v.TailMass(500)
+	if low <= 0 || low >= 0.5 {
+		t.Errorf("tail mass above 500 = %v, want small positive", low)
+	}
+	if v.TailMass(0.001) < 0.99 {
+		t.Errorf("tail mass above ~0 should be ~1, got %v", v.TailMass(0.001))
+	}
+	var empty Violin
+	if empty.TailMass(1) != 0 {
+		t.Error("empty violin tail mass should be 0")
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	s := NewSample(10000)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i * 7 % 10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}
+
+func BenchmarkViolin(b *testing.B) {
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(1 + float64(i%997))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ViolinOf(s, 16)
+	}
+}

@@ -1,0 +1,66 @@
+package tailbench
+
+import (
+	"ksa/internal/corpus"
+	"ksa/internal/platform"
+	"ksa/internal/sim"
+)
+
+// Noise drives the varbench system-call corpus as a co-running tenant
+// (§6.2: three of the four partitions run a 48-core synthetic system-call
+// workload while the fourth serves the tailbench application). The noise
+// cores iterate the corpus with barrier synchronization among themselves,
+// exactly like a standalone varbench deployment.
+type Noise struct {
+	stopped bool
+	calls   uint64
+}
+
+// StartNoise begins corpus iteration on the given cores until deadline (or
+// Stop). gap is the per-iteration pause after the barrier releases — the
+// result-collection and MPI overhead a real varbench deployment pays
+// between programs; it bounds the noise tenant's duty cycle. It returns a
+// handle for introspection.
+func StartNoise(env *platform.Environment, cores []platform.CoreRef, c *corpus.Corpus, deadline sim.Time, gap sim.Time, skew func() sim.Time) *Noise {
+	n := &Noise{}
+	if len(cores) == 0 || len(c.Programs) == 0 {
+		n.stopped = true
+		return n
+	}
+	eng := env.Eng
+	barrier := sim.NewBarrier(eng, len(cores), 2*sim.Microsecond)
+	barrier.Jitter = skew
+
+	var iterate func(coreIdx, prog int)
+	iterate = func(coreIdx, prog int) {
+		if n.stopped || eng.Now() >= deadline {
+			return
+		}
+		barrier.Arrive(func() {
+			if n.stopped || eng.Now() >= deadline {
+				return
+			}
+			eng.After(gap, func() {
+				if n.stopped || eng.Now() >= deadline {
+					return
+				}
+				ref := cores[coreIdx]
+				r := corpus.NewRunner(eng, ref.Kernel, ref.Core, nil)
+				r.PolluteCaches = true
+				r.Run(c.Programs[prog],
+					func(int, sim.Time) { n.calls++ },
+					func() { iterate(coreIdx, (prog+1)%len(c.Programs)) })
+			})
+		})
+	}
+	for i := range cores {
+		iterate(i, 0)
+	}
+	return n
+}
+
+// Stop halts further iterations (in-flight programs finish).
+func (n *Noise) Stop() { n.stopped = true }
+
+// Calls returns the number of noise syscalls issued so far.
+func (n *Noise) Calls() uint64 { return n.calls }

@@ -1,0 +1,216 @@
+// Package varbench is the measurement harness (§3.2 of the paper): it
+// deploys the same system-call program on every core of an environment,
+// inserts a global barrier before every program iteration so all cores
+// invoke kernel services at the same instant, and collects per-call-site
+// latency distributions.
+//
+// The barrier spans all cores of all kernels, mirroring varbench's use of
+// MPI rather than a node-local runtime: VM boundaries do not weaken the
+// synchronization, only the kernel state behind each core differs.
+package varbench
+
+import (
+	"fmt"
+
+	"ksa/internal/corpus"
+	"ksa/internal/platform"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/stats"
+	"ksa/internal/syscalls"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Iterations is how many synchronized repetitions of each program run
+	// (the paper uses 100).
+	Iterations int
+	// Warmup iterations are executed but not recorded (software caches and
+	// noise streams reach steady state).
+	Warmup int
+	// BarrierHop is the per-round latency of the global barrier (MPI over
+	// the virtual network).
+	BarrierHop sim.Time
+	// ReleaseSkewMean is the mean per-core barrier release skew
+	// (exponential). Real barriers wake ranks microseconds apart; zero skew
+	// would make every lock see worst-case simultaneous arrival on every
+	// iteration. Default 8µs.
+	ReleaseSkewMean sim.Time
+	// Seed perturbs the harness's own randomness (release skew).
+	Seed uint64
+}
+
+// DefaultOptions returns the scaled-down defaults used throughout the
+// repository: 30 recorded iterations after 2 warmups.
+func DefaultOptions() Options {
+	return Options{Iterations: 30, Warmup: 2, BarrierHop: 2 * sim.Microsecond,
+		ReleaseSkewMean: 8 * sim.Microsecond}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 30
+	}
+	if o.BarrierHop == 0 {
+		o.BarrierHop = 2 * sim.Microsecond
+	}
+	if o.ReleaseSkewMean == 0 {
+		o.ReleaseSkewMean = 8 * sim.Microsecond
+	}
+	return o
+}
+
+// Site identifies one call site: a (program, call index) pair.
+type Site struct {
+	Program int
+	Call    int
+}
+
+// SiteResult holds one call site's pooled latency sample across all cores
+// and recorded iterations, in microseconds.
+type SiteResult struct {
+	Site    Site
+	Syscall syscalls.ID
+	Sample  *stats.Sample
+}
+
+// Result is the outcome of one harness run.
+type Result struct {
+	Env        string
+	Cores      int
+	Iterations int
+	Sites      []SiteResult
+
+	index map[Site]int
+}
+
+// SiteSample returns the sample for a call site, or nil.
+func (r *Result) SiteSample(s Site) *stats.Sample {
+	if i, ok := r.index[s]; ok {
+		return r.Sites[i].Sample
+	}
+	return nil
+}
+
+// Run executes the corpus on every core of the environment. Programs run
+// one after another; before each iteration of each program, every core
+// waits at a global barrier so invocations are synchronized. Run drives the
+// environment's engine to completion and returns pooled results.
+func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
+	opts = opts.withDefaults()
+	nCores := env.NumCores()
+	res := &Result{
+		Env:        env.Name,
+		Cores:      nCores,
+		Iterations: opts.Iterations,
+		index:      make(map[Site]int),
+	}
+	tab := syscalls.Default()
+	for pi, p := range c.Programs {
+		for ci, call := range p.Calls {
+			s := Site{Program: pi, Call: ci}
+			res.index[s] = len(res.Sites)
+			res.Sites = append(res.Sites, SiteResult{
+				Site:    s,
+				Syscall: call.Syscall,
+				Sample:  stats.NewSample(nCores * opts.Iterations),
+			})
+		}
+	}
+
+	barrier := sim.NewBarrier(env.Eng, nCores, opts.BarrierHop)
+	skewSrc := rng.New(opts.Seed ^ 0x5645454b)
+	maxSkew := 8 * opts.ReleaseSkewMean
+	barrier.Jitter = func() sim.Time {
+		j := sim.Time(skewSrc.Exp(float64(opts.ReleaseSkewMean)))
+		if j > maxSkew {
+			j = maxSkew
+		}
+		return j
+	}
+	total := opts.Warmup + opts.Iterations
+
+	// Each core walks the same schedule: for each program, for each
+	// iteration: barrier; run program; continue. Barriers keep the cores in
+	// lockstep, so a single (program, iteration) cursor per core suffices.
+	var launch func(core, prog, iter int)
+	launch = func(core, prog, iter int) {
+		if prog >= len(c.Programs) {
+			return
+		}
+		if iter >= total {
+			launch(core, prog+1, 0)
+			return
+		}
+		barrier.Arrive(func() {
+			ref := env.Core(core)
+			r := corpus.NewRunner(env.Eng, ref.Kernel, ref.Core, tab)
+			record := iter >= opts.Warmup
+			p := c.Programs[prog]
+			r.Run(p,
+				func(i int, lat sim.Time) {
+					if record {
+						res.Sites[res.index[Site{prog, i}]].Sample.Add(lat.Micros())
+					}
+				},
+				func() { launch(core, prog, iter+1) })
+		})
+	}
+	for core := 0; core < nCores; core++ {
+		launch(core, 0, 0)
+	}
+	env.Eng.Run()
+	return res
+}
+
+// MedianBreakdown returns the Table 2-style decade breakdown of per-site
+// median latencies.
+func (r *Result) MedianBreakdown() stats.Breakdown {
+	return r.breakdown(func(s *stats.Sample) float64 { return s.Median() })
+}
+
+// P99Breakdown returns the decade breakdown of per-site 99th percentiles.
+func (r *Result) P99Breakdown() stats.Breakdown {
+	return r.breakdown(func(s *stats.Sample) float64 { return s.P99() })
+}
+
+// MaxBreakdown returns the decade breakdown of per-site worst cases.
+func (r *Result) MaxBreakdown() stats.Breakdown {
+	return r.breakdown(func(s *stats.Sample) float64 { return s.Max() })
+}
+
+func (r *Result) breakdown(metric func(*stats.Sample) float64) stats.Breakdown {
+	vals := make([]float64, 0, len(r.Sites))
+	for _, sr := range r.Sites {
+		if sr.Sample.Len() > 0 {
+			vals = append(vals, metric(sr.Sample))
+		}
+	}
+	return stats.BreakdownOf(vals)
+}
+
+// CategoryP99s pools, per category, the p99 of every call site in that
+// category whose metric passes the filter; this feeds Figure 2's violins.
+// minNativeMedian, if > 0, drops sites whose median (in THIS result) is
+// below the threshold — the paper filters to medians ≥ 10µs measured on
+// native Linux, so callers typically pass a site filter computed elsewhere.
+func (r *Result) CategoryP99s(cat syscalls.Category, include func(Site) bool) *stats.Sample {
+	tab := syscalls.Default()
+	out := stats.NewSample(64)
+	for _, sr := range r.Sites {
+		if sr.Sample.Len() == 0 || !tab.Get(sr.Syscall).Cats.Has(cat) {
+			continue
+		}
+		if include != nil && !include(sr.Site) {
+			continue
+		}
+		out.Add(sr.Sample.P99())
+	}
+	return out
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("varbench[%s cores=%d iters=%d sites=%d]",
+		r.Env, r.Cores, r.Iterations, len(r.Sites))
+}

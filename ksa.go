@@ -1,0 +1,178 @@
+// Package ksa reproduces "Reducing Kernel Surface Areas for Isolation and
+// Scalability" (Zahka, Kocoloski, Keahey — ICPP 2019) as a pure-Go library.
+//
+// The library contains a deterministic discrete-event simulated Linux-style
+// kernel (internal/kernel), a 200-call system-call model across the
+// paper's six categories (plus network and modern *at/xattr families) (internal/syscalls), a coverage-guided corpus
+// generator standing in for Syzkaller (internal/fuzz), the varbench
+// barrier-synchronized measurement harness (internal/varbench), native /
+// KVM / Docker environment models (internal/platform), the tailbench
+// application workloads (internal/tailbench), and a 64-node BSP cluster
+// harness (internal/cluster). See DESIGN.md for the system inventory and
+// the paper-to-module substitution map.
+//
+// This package is the public facade: build a corpus, deploy it on an
+// environment, and regenerate any of the paper's tables and figures.
+//
+//	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 1, TargetPrograms: 40})
+//	env := ksa.NewNativeEnvironment(ksa.NewEngine(), ksa.PaperMachine, 1)
+//	res := ksa.RunVarbench(env, c, ksa.VarbenchOptions{Iterations: 10})
+//	fmt.Println(res.P99Breakdown().Row())
+//
+// Everything is seeded: two runs with the same seeds are bit-identical.
+package ksa
+
+import (
+	"io"
+
+	"ksa/internal/cluster"
+	"ksa/internal/core"
+	"ksa/internal/corpus"
+	"ksa/internal/fuzz"
+	"ksa/internal/platform"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/stats"
+	"ksa/internal/syscalls"
+	"ksa/internal/tailbench"
+	"ksa/internal/varbench"
+)
+
+// Re-exported fundamental types.
+type (
+	// Engine is the deterministic discrete-event executor all simulations
+	// run on.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Machine describes a physical host to partition.
+	Machine = platform.Machine
+	// Environment is a deployed configuration (native / VMs / containers).
+	Environment = platform.Environment
+	// EnvKind discriminates environment flavors.
+	EnvKind = platform.EnvKind
+	// Corpus is a collection of system-call programs.
+	Corpus = corpus.Corpus
+	// Program is one sequence of system calls.
+	Program = corpus.Program
+	// CorpusOptions configures coverage-guided generation.
+	CorpusOptions = fuzz.Options
+	// VarbenchOptions configures the measurement harness.
+	VarbenchOptions = varbench.Options
+	// VarbenchResult holds per-call-site latency distributions.
+	VarbenchResult = varbench.Result
+	// Breakdown is a Table 2/3-style decade-bucket summary.
+	Breakdown = stats.Breakdown
+	// App is a tailbench application profile.
+	App = tailbench.App
+	// ClusterConfig configures a Figure 4-style cluster run.
+	ClusterConfig = cluster.Config
+	// ClusterResult is a cluster run's outcome.
+	ClusterResult = cluster.Result
+	// Scale sets experiment sizes for the table/figure runners.
+	Scale = core.Scale
+)
+
+// Environment kinds.
+const (
+	KindNative     = platform.KindNative
+	KindVMs        = platform.KindVMs
+	KindContainers = platform.KindContainers
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// PaperMachine is the paper's evaluation host: 64 cores / 32 GB (Table 1).
+var PaperMachine = platform.PaperMachine
+
+// NewEngine returns a fresh virtual-time engine.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// GenerateCorpus runs the coverage-guided generator (the Syzkaller analog)
+// and returns the corpus plus generation statistics.
+func GenerateCorpus(opts CorpusOptions) (*Corpus, fuzz.Stats) {
+	return fuzz.Generate(opts)
+}
+
+// WriteCorpus serializes a corpus in the text format.
+func WriteCorpus(w io.Writer, c *Corpus) error {
+	return corpus.WriteText(w, c, syscalls.Default())
+}
+
+// ReadCorpus parses a corpus from the text format.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	return corpus.ParseText(r, syscalls.Default())
+}
+
+// NewNativeEnvironment builds a bare-metal deployment: one kernel managing
+// the whole machine.
+func NewNativeEnvironment(eng *Engine, m Machine, seed uint64) *Environment {
+	return platform.Native(eng, m, rng.New(seed))
+}
+
+// NewVMEnvironment partitions the machine into n KVM-style VMs (n must
+// divide the core count).
+func NewVMEnvironment(eng *Engine, m Machine, n int, seed uint64) *Environment {
+	return platform.VMs(eng, m, n, rng.New(seed))
+}
+
+// NewContainerEnvironment deploys n Docker-style containers over one shared
+// kernel.
+func NewContainerEnvironment(eng *Engine, m Machine, n int, seed uint64) *Environment {
+	return platform.Containers(eng, m, n, rng.New(seed))
+}
+
+// RunVarbench deploys the corpus on every core of the environment with
+// global barrier synchronization and returns per-call-site latency
+// distributions.
+func RunVarbench(env *Environment, c *Corpus, opts VarbenchOptions) *VarbenchResult {
+	return varbench.Run(env, c, opts)
+}
+
+// Apps returns the paper's Table 4 tailbench workload profiles.
+func Apps() []*App { return tailbench.Apps() }
+
+// AppByName returns the named tailbench profile, or nil.
+func AppByName(name string) *App { return tailbench.AppByName(name) }
+
+// RunCluster executes a Figure 4-style BSP cluster run.
+func RunCluster(cfg ClusterConfig) ClusterResult { return cluster.Run(cfg) }
+
+// DefaultScale returns the standard experiment scale; QuickScale a smoke
+// scale.
+func DefaultScale() Scale { return core.DefaultScale() }
+
+// QuickScale returns the test/smoke experiment scale.
+func QuickScale() Scale { return core.QuickScale() }
+
+// Experiment runners: each regenerates one of the paper's tables/figures.
+var (
+	// VMConfigTable renders Table 1.
+	VMConfigTable = core.VMConfigTable
+	// RunTable2 reproduces Table 2 (median/p99/max decade breakdowns).
+	RunTable2 = core.RunTable2
+	// RunFigure2 reproduces Figure 2 (per-category p99 violins vs VM count).
+	RunFigure2 = core.RunFigure2
+	// RunTable3 reproduces Table 3 (worst case vs container count).
+	RunTable3 = core.RunTable3
+	// RunFigure3 reproduces Figure 3 (single-node tail latency).
+	RunFigure3 = core.RunFigure3
+	// RunFigure4 reproduces Figure 4 (64-node cluster runtimes).
+	RunFigure4 = core.RunFigure4
+	// RunLightVMExtension evaluates Firecracker/Kata-class lightweight VMs
+	// against Docker and KVM — the future work the paper's §2 names.
+	RunLightVMExtension = core.RunLightVMExtension
+	// RunAblation quantifies each interference mechanism's contribution to
+	// the shared kernel's tails.
+	RunAblation = core.RunAblation
+)
+
+// KindLightVMs selects the lightweight-VM (Firecracker/Kata-class)
+// environment in SingleNodeConfig/ClusterConfig-style uses.
+const KindLightVMs = platform.KindLightVMs
