@@ -2,10 +2,14 @@
 //
 // Usage:
 //
-//	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick] [-seed N]
+//	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
+//	       [-seed N] [-trace]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
-// a reference run side by side with the paper's numbers.
+// a reference run side by side with the paper's numbers. -trace appends the
+// blame experiment (a traced native-machine varbench run attributing every
+// over-threshold outlier to a kernel structure); it can also be selected
+// directly with -exp blame.
 package main
 
 import (
@@ -19,10 +23,11 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation or all (lightvm/ablation are extensions, not in 'all')")
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame or all (lightvm/ablation/blame are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
-	seed := flag.Uint64("seed", 0, "override the scale's seed (0 = keep)")
+	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
 	flag.Parse()
 
 	var sc ksa.Scale
@@ -35,13 +40,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksaexp: unknown -scale %q\n", *scaleName)
 		os.Exit(2)
 	}
-	if *seed != 0 {
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		if *seed == 0 {
+			fmt.Fprintln(os.Stderr, "ksaexp: -seed 0 is the 'keep the scale's default' sentinel; pass a nonzero seed (or omit the flag)")
+			os.Exit(2)
+		}
 		sc.Seed = *seed
 	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true
+	}
+	if *traceOn {
+		want["blame"] = true
 	}
 	all := want["all"]
 	ran := 0
@@ -96,6 +110,13 @@ func main() {
 	}
 	if want["ablation"] {
 		run("ablation", func() { fmt.Println(ksa.RunAblation(sc).Render()) })
+	}
+	if want["blame"] {
+		run("blame", func() {
+			res := ksa.RunBlame(sc, ksa.KindNative, 0, 0)
+			fmt.Println(res.Render())
+			writeCSV("blame", func(f *os.File) error { return res.WriteCSV(f) })
+		})
 	}
 
 	if ran == 0 {

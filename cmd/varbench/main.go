@@ -5,9 +5,11 @@
 // Usage:
 //
 //	varbench [-corpus file] [-env native|kvm|docker] [-units N]
-//	         [-cores N] [-mem GB] [-iters N] [-seed N]
+//	         [-cores N] [-mem GB] [-iters N] [-seed N] [-trace]
 //
-// Without -corpus, a corpus is generated on the fly from the seed.
+// Without -corpus, a corpus is generated on the fly from the seed. With
+// -trace, every kernel is traced and the blame report (top-blamed shared
+// structures, worst records, pooled lockstat) follows the breakdowns.
 package main
 
 import (
@@ -26,9 +28,15 @@ func main() {
 	mem := flag.Float64("mem", 32, "machine memory (GB)")
 	iters := flag.Int("iters", 20, "recorded iterations per program")
 	warmup := flag.Int("warmup", 2, "warmup iterations")
-	seed := flag.Uint64("seed", 42, "experiment seed")
+	seed := flag.Uint64("seed", 42, "experiment seed (nonzero)")
 	contention := flag.Bool("contention", false, "print per-kernel lock contention reports")
+	traceOn := flag.Bool("trace", false, "trace every kernel and print the blame report")
 	flag.Parse()
+
+	if *seed == 0 {
+		fmt.Fprintln(os.Stderr, "varbench: -seed 0 is reserved as the 'unset' sentinel across the ksa tools; pass a nonzero seed")
+		os.Exit(2)
+	}
 
 	var c *ksa.Corpus
 	if *corpusPath != "" {
@@ -62,9 +70,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := ksa.RunVarbench(env, c, ksa.VarbenchOptions{
-		Iterations: *iters, Warmup: *warmup, Seed: *seed,
-	})
+	opts := ksa.VarbenchOptions{Iterations: *iters, Warmup: *warmup, Seed: *seed}
+	if *traceOn {
+		opts.Trace = &ksa.TraceOptions{}
+	}
+	res := ksa.RunVarbench(env, c, opts)
 	fmt.Printf("%s: %d call sites, %d cores, %d iterations\n",
 		env.Name, len(res.Sites), res.Cores, res.Iterations)
 	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n", "metric", "1µs", "10µs", "100µs", "1ms", "10ms", ">10ms")
@@ -94,5 +104,9 @@ func main() {
 		for _, k := range env.Kernels[:limit] {
 			fmt.Println(k.Contention().String())
 		}
+	}
+	if *traceOn {
+		fmt.Println()
+		fmt.Print(ksa.RenderBlame(res, 10))
 	}
 }

@@ -27,6 +27,10 @@ type Runner struct {
 	// Single-tenant measurement harnesses leave it false — the calibrated
 	// baseline hit rates already reflect the corpus's self-pollution.
 	PolluteCaches bool
+	// Label, if non-nil, names each submitted task (given the call index
+	// and syscall name) so an attached tracer can map blame records back
+	// to call sites. Nil leaves tasks unlabeled.
+	Label func(call int, name string) string
 }
 
 // NewRunner builds a runner with a fresh process on the given core. A nil
@@ -80,7 +84,7 @@ func (r *Runner) Run(p *Program, perCall func(i int, lat sim.Time), done func())
 		ctx := &syscalls.Ctx{Kern: r.Kern, Core: r.Core, Proc: r.Proc, Cov: r.Cov}
 		ops, ret := spec.Compile(ctx, args)
 		results[i] = ret
-		r.Kern.Submit(r.Core, &kernel.Task{
+		task := &kernel.Task{
 			Ops:       ops,
 			AddrSpace: r.Proc.MM,
 			OnDone: func(lat sim.Time) {
@@ -89,7 +93,11 @@ func (r *Runner) Run(p *Program, perCall func(i int, lat sim.Time), done func())
 				}
 				r.Eng.After(InterCallGap, func() { exec(i + 1) })
 			},
-		})
+		}
+		if r.Label != nil {
+			task.Label = r.Label(i, spec.Name)
+		}
+		r.Kern.Submit(r.Core, task)
 	}
 	exec(0)
 }

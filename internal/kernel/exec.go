@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ksa/internal/sim"
+	"ksa/internal/trace"
 )
 
 // step executes the next micro-op of t on core c. The executor is written
@@ -22,12 +23,32 @@ func (k *Kernel) step(c *core, t *Task) {
 	switch op.Kind {
 	case OpCompute:
 		d := k.computeCost(op)
-		end := k.elapse(c, k.eng.Now(), d)
+		if tr := k.tracer; tr != nil {
+			tr.Compute(t.blame, d)
+			if op.Exits > 0 && k.cfg.Virt != nil {
+				tr.VMExit(k.eng.Now(), c.id, op.Exits)
+			}
+		}
+		end := k.elapse(c, t, k.eng.Now(), d)
 		k.eng.At(end, func() { k.step(c, t) })
 
 	case OpLock:
 		t.lockStack = append(t.lockStack, op.Lock)
-		k.locks[op.Lock].Acquire(func() { k.step(c, t) })
+		l := k.locks[op.Lock]
+		reqAt := k.eng.Now()
+		var waiters int
+		if k.tracer != nil {
+			waiters = l.QueueLen()
+		}
+		l.Acquire(func() {
+			wait := k.eng.Now() - reqAt
+			k.stats.LockWait += wait
+			if tr := k.tracer; tr != nil {
+				tr.LockAcquired(t.blame, k.eng.Now(), c.id, TraceLockName(op.Lock), wait, waiters)
+				t.lockAcqAt = append(t.lockAcqAt, k.eng.Now())
+			}
+			k.step(c, t)
+		})
 
 	case OpUnlock:
 		n := len(t.lockStack)
@@ -35,18 +56,32 @@ func (k *Kernel) step(c *core, t *Task) {
 			panic(fmt.Sprintf("kernel %s: unbalanced unlock of %d", k.cfg.Name, op.Lock))
 		}
 		t.lockStack = t.lockStack[:n-1]
+		k.stats.LockHolds++
+		if tr := k.tracer; tr != nil && len(t.lockAcqAt) > 0 {
+			last := len(t.lockAcqAt) - 1
+			tr.LockReleased(k.eng.Now(), c.id, TraceLockName(op.Lock), k.eng.Now()-t.lockAcqAt[last])
+			t.lockAcqAt = t.lockAcqAt[:last]
+		}
 		k.locks[op.Lock].Release()
 		k.step(c, t)
 
 	case OpRLock:
-		t.AddrSpace.RLock(func() { k.step(c, t) })
+		reqAt := k.eng.Now()
+		t.AddrSpace.RLock(func() {
+			k.mmapGranted(c, t, reqAt)
+			k.step(c, t)
+		})
 
 	case OpRUnlock:
 		t.AddrSpace.RUnlock()
 		k.step(c, t)
 
 	case OpWLock:
-		t.AddrSpace.Lock(func() { k.step(c, t) })
+		reqAt := k.eng.Now()
+		t.AddrSpace.Lock(func() {
+			k.mmapGranted(c, t, reqAt)
+			k.step(c, t)
+		})
 
 	case OpWUnlock:
 		t.AddrSpace.Unlock()
@@ -68,10 +103,23 @@ func (k *Kernel) step(c *core, t *Task) {
 		if wake <= k.eng.Now() {
 			wake = k.eng.Now() + 1
 		}
+		if tr := k.tracer; tr != nil {
+			tr.Sleep(t.blame, k.eng.Now(), c.id, wake-k.eng.Now())
+		}
 		k.eng.At(wake, func() { k.step(c, t) })
 
 	default:
 		panic(fmt.Sprintf("kernel %s: unknown op kind %d", k.cfg.Name, op.Kind))
+	}
+}
+
+// mmapGranted books an address-space semaphore grant: the wait counts
+// toward Stats.LockWait and, when tracing, the mmap_sem pseudo-lock.
+func (k *Kernel) mmapGranted(c *core, t *Task, reqAt sim.Time) {
+	wait := k.eng.Now() - reqAt
+	k.stats.LockWait += wait
+	if tr := k.tracer; tr != nil {
+		tr.MMapWait(t.blame, k.eng.Now(), c.id, wait)
 	}
 }
 
@@ -139,10 +187,15 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 	k.stats.IPIs++
 	if targets == 0 {
 		// Local flush only.
-		end := k.elapse(c, k.eng.Now(), k.par.IPIBase/2)
+		cost := k.par.IPIBase / 2
+		if tr := k.tracer; tr != nil {
+			tr.IPI(t.blame, k.eng.Now(), c.id, 0, 0, cost)
+		}
+		end := k.elapse(c, t, k.eng.Now(), cost)
 		k.eng.At(end, func() { k.step(c, t) })
 		return
 	}
+	reqAt := k.eng.Now()
 	k.ipiBus.Acquire(func() {
 		cost := k.par.IPIBase + sim.Time(targets)*k.par.IPIPerTarget
 		if v := k.cfg.Virt; v != nil && op.Exits > 0 {
@@ -150,12 +203,18 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 			exits := op.Exits * targets
 			cost += sim.Time(exits) * v.ExitCost
 			k.stats.VMExits += uint64(exits)
+			if tr := k.tracer; tr != nil {
+				tr.VMExit(k.eng.Now(), c.id, exits)
+			}
 		}
 		k.stats.IPITargets += uint64(targets)
+		if tr := k.tracer; tr != nil {
+			tr.IPI(t.blame, k.eng.Now(), c.id, targets, k.eng.Now()-reqAt, cost)
+		}
 		// Only the dispatch path holds the shared bus; waiting for the
 		// remaining acks overlaps with other senders.
 		busHold := k.par.IPIBase + sim.Time(float64(cost-k.par.IPIBase)*k.par.IPIBusOverlap)
-		busEnd := k.elapse(c, k.eng.Now(), busHold)
+		busEnd := k.elapse(c, t, k.eng.Now(), busHold)
 		k.eng.At(busEnd, func() {
 			for _, other := range k.cores {
 				if other != c {
@@ -164,7 +223,7 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 			}
 			k.ipiBus.Release()
 			rest := cost - busHold
-			end := k.elapse(c, k.eng.Now(), rest)
+			end := k.elapse(c, t, k.eng.Now(), rest)
 			k.eng.At(end, func() { k.step(c, t) })
 		})
 	})
@@ -182,13 +241,23 @@ func (k *Kernel) runBlockIO(c *core, t *Task, op Op) {
 		service = k.drawBlockService(c)
 	}
 	q := k.blockDev
+	reqAt := k.eng.Now()
 	q.Acquire(func() {
+		qWait := k.eng.Now() - reqAt
 		v := k.cfg.Virt
 		if v != nil && v.HostBlockQueue != nil {
 			relay := v.VirtioRelay + sim.Time(op.Exits)*v.ExitCost
 			k.stats.VMExits += uint64(op.Exits)
+			if tr := k.tracer; tr != nil && op.Exits > 0 {
+				tr.VMExit(k.eng.Now(), c.id, op.Exits)
+			}
+			hostReq := k.eng.Now()
 			v.HostBlockQueue.Acquire(func() {
+				hostWait := k.eng.Now() - hostReq
 				k.eng.After(service+relay, func() {
+					if tr := k.tracer; tr != nil {
+						tr.BlockIO(t.blame, k.eng.Now(), c.id, qWait+hostWait, service+relay)
+					}
 					v.HostBlockQueue.Release()
 					q.Release()
 					k.step(c, t)
@@ -197,6 +266,9 @@ func (k *Kernel) runBlockIO(c *core, t *Task, op Op) {
 			return
 		}
 		k.eng.After(service, func() {
+			if tr := k.tracer; tr != nil {
+				tr.BlockIO(t.blame, k.eng.Now(), c.id, qWait, service)
+			}
 			q.Release()
 			k.step(c, t)
 		})
@@ -218,7 +290,7 @@ func (k *Kernel) drawBlockService(c *core) sim.Time {
 // an idle core delays nobody. A burst landing on a lock holder extends the
 // hold and therefore everyone queued behind it: this is the paper's
 // "potentially unbounded software interference" mechanism.
-func (k *Kernel) elapse(c *core, start sim.Time, d sim.Time) sim.Time {
+func (k *Kernel) elapse(c *core, t *Task, start sim.Time, d sim.Time) sim.Time {
 	if d < 0 {
 		d = 0
 	}
@@ -227,6 +299,9 @@ func (k *Kernel) elapse(c *core, start sim.Time, d sim.Time) sim.Time {
 	if c.pendingSteal > 0 {
 		end += c.pendingSteal
 		k.stats.NoiseStolen += c.pendingSteal
+		if tr := k.tracer; tr != nil {
+			tr.Steal(t.blame, start, c.id, trace.StealIPIHandler, c.pendingSteal)
+		}
 		c.pendingSteal = 0
 	}
 	if k.par.Quiet {
@@ -257,6 +332,9 @@ func (k *Kernel) elapse(c *core, start sim.Time, d sim.Time) sim.Time {
 			end += steal
 			k.stats.NoiseBursts++
 			k.stats.NoiseStolen += steal
+			if tr := k.tracer; tr != nil {
+				tr.Steal(t.blame, ns.next, c.id, ns.kind, steal)
+			}
 			ns.advance(ns.next + ns.len)
 		}
 	}
@@ -269,6 +347,9 @@ func (k *Kernel) elapse(c *core, start sim.Time, d sim.Time) sim.Time {
 		steal := sim.Time(ticks) * k.par.TickCost
 		end += steal
 		k.stats.TickStolen += steal
+		if tr := k.tracer; tr != nil {
+			tr.Steal(t.blame, start, c.id, trace.StealTick, steal)
+		}
 	}
 	return end
 }

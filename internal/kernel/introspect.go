@@ -41,6 +41,33 @@ var lockNames = map[LockID]string{
 	LockCgroup:      "cgroup",
 }
 
+// lockTraceNames maps every LockID to its blame-attribution name: named
+// locks keep their human-readable label, shards collapse onto their family
+// (per-shard identity is noise at attribution granularity — what matters
+// is *which structure*, not which hash bucket).
+var lockTraceNames = buildLockTraceNames()
+
+func buildLockTraceNames() []string {
+	names := make([]string, lockTotalCount)
+	for id, n := range lockNames {
+		names[id] = n
+	}
+	for _, fam := range shardFamilies {
+		for i := 0; i < fam.count; i++ {
+			names[fam.base+LockID(i)] = fam.name
+		}
+	}
+	for i, n := range names {
+		if n == "" {
+			names[i] = fmt.Sprintf("lock%d", i)
+		}
+	}
+	return names
+}
+
+// TraceLockName returns the tracing/blame name for a lock.
+func TraceLockName(id LockID) string { return lockTraceNames[id] }
+
 // shardFamilies aggregates the sharded lock families.
 var shardFamilies = []struct {
 	name  string

@@ -126,6 +126,30 @@ func GroupedBars(title string, groupLabel string, series []string, groups []stri
 	return t
 }
 
+// BlameRow is one shared structure's contribution to over-threshold
+// outliers, as attributed by the trace subsystem: how many outliers it
+// dominated, the total time charged to it, and its worst single charge.
+type BlameRow struct {
+	Structure string
+	Dominated int
+	TotalUs   float64
+	WorstUs   float64
+}
+
+// TopBlamedTable renders blame attributions as an aligned table, the
+// "which shared structure produced the tail" view: one row per structure,
+// already ordered by the caller (conventionally total blame descending).
+func TopBlamedTable(title string, rows []BlameRow) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"structure", "dominated", "total blamed", "worst single"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Structure, fmt.Sprintf("%d", r.Dominated), fmtUs(r.TotalUs), fmtUs(r.WorstUs))
+	}
+	return t
+}
+
 // WriteCSV emits headers and rows as CSV (no quoting needs arise in our
 // outputs: labels are identifiers, cells are numbers).
 func WriteCSV(w io.Writer, headers []string, rows [][]string) error {

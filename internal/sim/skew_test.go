@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"ksa/internal/rng"
+)
+
+// Release skew must be a pure function of the jitter source: two runs with
+// identically seeded jitter release every party at bit-identical times,
+// and the draws are consumed in arrival order (the property the varbench
+// determinism guarantee leans on).
+func TestBarrierReleaseSkewDeterministic(t *testing.T) {
+	run := func(seed uint64) []Time {
+		e := NewEngine()
+		b := NewBarrier(e, 4, 5)
+		src := rng.New(seed)
+		b.Jitter = func() Time { return Time(src.Exp(8000)) }
+		var times []Time
+		for i, at := range []Time{3, 1, 7, 2} {
+			_ = i
+			at := at
+			e.At(at, func() {
+				b.Arrive(func() { times = append(times, e.Now()) })
+			})
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(11), run(11)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("released %d/%d parties, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("party %d released at %v vs %v across identically-seeded runs", i, a[i], b[i])
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		same = same && a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different jitter seeds produced identical release skew")
+	}
+}
+
+// Jitter draws are applied per party in arrival order, on top of the
+// common release instant.
+func TestBarrierSkewPerPartyInArrivalOrder(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 3, 0)
+	var draw Time
+	b.Jitter = func() Time { draw += 10; return draw }
+	released := map[int]Time{}
+	for i, at := range []Time{30, 10, 20} {
+		i, at := i, at
+		e.At(at, func() {
+			b.Arrive(func() { released[i] = e.Now() })
+		})
+	}
+	e.Run()
+	// Arrival order is 1 (t=10), 2 (t=20), 0 (t=30); last arrival at 30 is
+	// the release instant; draws 10, 20, 30 land in arrival order.
+	want := map[int]Time{1: 40, 2: 50, 0: 60}
+	for i, w := range want {
+		if released[i] != w {
+			t.Fatalf("party %d released at %v, want %v (all: %v)", i, released[i], w, released)
+		}
+	}
+}
+
+// Under sustained contention the ticket lock is strictly FIFO: a convoy of
+// waiters is granted in arrival order with no overtaking and no
+// starvation, and each waiter's wait grows with its queue position.
+func TestLockFIFOFairnessUnderContention(t *testing.T) {
+	const waiters = 32
+	e := NewEngine()
+	l := NewLock(e, "convoy")
+	l.Acquire(func() { e.At(1000, func() { l.Release() }) })
+	var order []int
+	waits := make([]Time, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		at := Time(i + 1) // staggered, strictly increasing arrivals
+		e.At(at, func() {
+			l.Acquire(func() {
+				order = append(order, i)
+				waits[i] = e.Now() - at
+				e.After(50, func() { l.Release() })
+			})
+		})
+	}
+	e.Run()
+	if len(order) != waiters {
+		t.Fatalf("%d of %d waiters granted — starvation", len(order), waiters)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant %d went to waiter %d — FIFO violated: %v", i, got, order)
+		}
+	}
+	for i := 1; i < waiters; i++ {
+		if waits[i] <= waits[i-1] {
+			t.Fatalf("waiter %d waited %v, not longer than predecessor's %v", i, waits[i], waits[i-1])
+		}
+	}
+	if l.MaxQueue() != waiters {
+		t.Fatalf("MaxQueue = %d, want %d", l.MaxQueue(), waiters)
+	}
+}

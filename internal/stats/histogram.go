@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// histBuckets is the number of log2 buckets a LatHist carries. Bucket 0
+// holds observations below 1µs; bucket i (i >= 1) holds observations in
+// [2^(i-1), 2^i) µs. 40 buckets reach ~2^39 µs ≈ 6 days, far beyond any
+// simulated latency.
+const histBuckets = 40
+
+// LatHist is a zero-value-ready, fixed-footprint log2 latency histogram (microseconds).
+// Unlike Sample it never grows with the observation count, which makes it
+// safe to keep one per kernel lock for arbitrarily long traced runs. The
+// price is that quantiles are bucket-resolution estimates, which is plenty
+// for blame attribution ("waits cluster near 2ms") and matches the
+// decade-bucket reporting style of the paper's tables.
+type LatHist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    float64
+	max    float64
+}
+
+// bucketOf returns the bucket index for a value in microseconds.
+func bucketOf(us float64) int {
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(us))) + 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperUs returns bucket i's exclusive upper bound in microseconds.
+func BucketUpperUs(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	return math.Exp2(float64(i))
+}
+
+// Add records one observation (microseconds; negatives clamp to zero).
+func (h *LatHist) Add(us float64) {
+	if us < 0 {
+		us = 0
+	}
+	h.counts[bucketOf(us)]++
+	h.n++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatHist) Count() uint64 { return h.n }
+
+// Sum returns the total of all observations (microseconds).
+func (h *LatHist) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or zero when empty.
+func (h *LatHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation seen (exact, not bucketed).
+func (h *LatHist) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) as the upper bound of the
+// bucket containing the q-th observation, capped at the exact maximum. An
+// empty histogram returns zero.
+func (h *LatHist) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	rank := uint64(q * float64(h.n-1))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			est := BucketUpperUs(i)
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *LatHist) Merge(other *LatHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarizes the histogram's landmarks.
+func (h *LatHist) String() string {
+	if h.n == 0 {
+		return "hist[empty]"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hist[n=%d mean=%.1fµs p50≤%.0fµs p99≤%.0fµs max=%.1fµs]",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatHistEmpty(t *testing.T) {
+	var h LatHist
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("zero-value LatHist not empty")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	if h.String() != "hist[empty]" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestLatHistBuckets(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want int
+	}{{0, 0}, {0.5, 0}, {0.99, 0}, {1, 1}, {1.9, 1}, {2, 2}, {3.9, 2}, {4, 3}, {1024, 11}}
+	for _, c := range cases {
+		if got := bucketOf(c.us); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.us, got, c.want)
+		}
+	}
+	if bucketOf(1e30) != histBuckets-1 {
+		t.Error("huge value not clamped to last bucket")
+	}
+	if BucketUpperUs(0) != 1 || BucketUpperUs(3) != 8 {
+		t.Error("BucketUpperUs boundaries wrong")
+	}
+}
+
+func TestLatHistStatsAndQuantiles(t *testing.T) {
+	var h LatHist
+	for i := 0; i < 99; i++ {
+		h.Add(2) // bucket [2,4)
+	}
+	h.Add(5000) // the tail
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 5000 {
+		t.Fatalf("Max = %v, want exact 5000", h.Max())
+	}
+	if got := h.Mean(); got != (99*2+5000)/100.0 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// p50 lands in the [2,4) bucket: estimate is its upper bound.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %v, want 4", got)
+	}
+	// p100 is capped at the exact max, not the bucket bound.
+	if got := h.Quantile(1); got != 5000 {
+		t.Fatalf("p100 = %v, want 5000", got)
+	}
+	// Negatives clamp rather than corrupt.
+	h.Add(-3)
+	if h.Count() != 101 || h.Sum() != 99*2+5000 {
+		t.Fatal("negative observation not clamped to zero")
+	}
+	if !strings.Contains(h.String(), "n=101") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestLatHistQuantileOutOfRangePanics(t *testing.T) {
+	var h LatHist
+	h.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range quantile did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestLatHistMerge(t *testing.T) {
+	var a, b LatHist
+	a.Add(1)
+	a.Add(100)
+	b.Add(7)
+	b.Add(9000)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Sum() != 1+100+7+9000 {
+		t.Fatalf("merged Sum = %v", a.Sum())
+	}
+	if a.Max() != 9000 {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+}

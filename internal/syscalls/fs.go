@@ -295,10 +295,15 @@ func fsSpecs() []*Spec {
 			compile: func(ctx *Ctx, args []uint64) ([]kernel.Op, uint64) {
 				var l kernel.OpList
 				ctx.cover(1)
-				// Flush every dirty inode: long journal hold plus device writes.
-				l.Crit(kernel.LockJournal, us(14))
+				// Flush every dirty inode: the journal is held through the
+				// log writes to the device (a commit, like journalTxn's
+				// close), so every waiter also absorbs the device round
+				// trips.
+				l.Lock(kernel.LockJournal)
+				l.Compute(us(14))
 				l.BlockIO(0)
 				l.BlockIO(0)
+				l.Unlock(kernel.LockJournal)
 				return l.Ops(), 0
 			},
 		},
@@ -308,8 +313,12 @@ func fsSpecs() []*Spec {
 			compile: func(ctx *Ctx, args []uint64) ([]kernel.Op, uint64) {
 				var l kernel.OpList
 				ctx.cover(1)
-				l.Crit(kernel.LockJournal, us(10))
+				// Single-filesystem commit: journal held through the log
+				// write.
+				l.Lock(kernel.LockJournal)
+				l.Compute(us(10))
 				l.BlockIO(0)
+				l.Unlock(kernel.LockJournal)
 				return l.Ops(), 0
 			},
 		},

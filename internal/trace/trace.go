@@ -1,0 +1,379 @@
+// Package trace is the kernel event-tracing and blame-attribution
+// subsystem. A Tracer attaches to one simulated kernel and records typed
+// events — lock acquire/wait/hold, housekeeping bursts and their victim
+// cores, IPI broadcasts and dispatch serialization, journal commits (via
+// the journal lock), block I/O queueing, VM exits — into a bounded
+// ftrace-style ring buffer, aggregates per-lock wait/hold histograms, and
+// decomposes the wall time of every over-threshold task into its
+// contributing mechanisms, naming the dominant one.
+//
+// Tracing is strictly observational: hooks never draw randomness, never
+// schedule events, and never touch windowed kernel state, so attaching a
+// tracer cannot change any virtual-time result (the determinism guard in
+// internal/varbench asserts this bit-for-bit). With no tracer attached the
+// kernel's hook sites reduce to a nil check.
+package trace
+
+import (
+	"ksa/internal/sim"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// BufferCap is the event ring capacity. When full, the oldest events
+	// are overwritten and counted as drops (ftrace overwrite mode).
+	// Default 65536.
+	BufferCap int
+	// Threshold is the wall-time above which a completed task earns a
+	// blame record. Default 1ms — the paper's "unbounded software
+	// interference" territory.
+	Threshold sim.Time
+	// MaxRecords caps retained blame records; excess outliers are counted
+	// but not stored. Default 8192.
+	MaxRecords int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferCap == 0 {
+		o.BufferCap = 65536
+	}
+	if o.Threshold == 0 {
+		o.Threshold = sim.Millisecond
+	}
+	if o.MaxRecords == 0 {
+		o.MaxRecords = 8192
+	}
+	return o
+}
+
+// EventKind discriminates ring-buffer events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvTaskStart marks a task beginning execution on a core (What is the
+	// task label, Dur the CPU queue wait it already paid).
+	EvTaskStart EventKind = iota
+	// EvTaskEnd marks task completion (Dur is total wall time).
+	EvTaskEnd
+	// EvLockAcquire is a kernel lock grant (What names the lock, Dur the
+	// wait, Aux the queue length seen at request time).
+	EvLockAcquire
+	// EvLockRelease is a kernel lock release (Dur is the hold time,
+	// housekeeping preemption of the holder included).
+	EvLockRelease
+	// EvMMapWait is an address-space rw-semaphore wait (Dur).
+	EvMMapWait
+	// EvSteal is CPU stolen from on-CPU work (What names the stream:
+	// housekeeping, host-residency, tick, ipi-handler; Dur the steal).
+	EvSteal
+	// EvIPI is a TLB-shootdown-style broadcast (Aux is the target count,
+	// Dur the sender's bus wait — the dispatch-serialization cost).
+	EvIPI
+	// EvBlockIO is one block-device round trip (Dur is queue wait, Aux the
+	// service time in nanoseconds).
+	EvBlockIO
+	// EvVMExit counts VM exits charged to an op (Aux).
+	EvVMExit
+	// EvSleep is a voluntary off-CPU wait (Dur).
+	EvSleep
+)
+
+var eventKindNames = [...]string{
+	EvTaskStart:   "task-start",
+	EvTaskEnd:     "task-end",
+	EvLockAcquire: "lock-acquire",
+	EvLockRelease: "lock-release",
+	EvMMapWait:    "mmap-wait",
+	EvSteal:       "steal",
+	EvIPI:         "ipi",
+	EvBlockIO:     "block-io",
+	EvVMExit:      "vm-exit",
+	EvSleep:       "sleep",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event?"
+}
+
+// Event is one ring-buffer entry. The meaning of What/Dur/Aux depends on
+// Kind (see the kind constants).
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	Core int32
+	What string
+	Dur  sim.Time
+	Aux  int64
+}
+
+// StealKind names a CPU-steal stream for blame attribution.
+type StealKind uint8
+
+// Steal streams.
+const (
+	// StealHousekeeping is the guest kernel's own writeback/reclaim/RCU
+	// bursts.
+	StealHousekeeping StealKind = iota
+	// StealHostResidency is the host kernel's activity on the pinned pCPU
+	// (virtualized kernels only).
+	StealHostResidency
+	// StealTick is timer-tick accounting work.
+	StealTick
+	// StealIPIHandler is interrupt-handler debt from other cores' IPI/TLB
+	// broadcasts.
+	StealIPIHandler
+
+	numStealKinds
+)
+
+var stealNames = [numStealKinds]string{
+	"housekeeping", "host-residency", "tick", "ipi-handler",
+}
+
+// String names the stream.
+func (s StealKind) String() string {
+	if s < numStealKinds {
+		return stealNames[s]
+	}
+	return "steal?"
+}
+
+// Tracer records one kernel's events and blame. It is attached with
+// kernel.SetTracer and must be attached before any task is submitted.
+type Tracer struct {
+	opts   Options
+	kernel string
+
+	ring    []Event
+	next    int
+	wrapped bool
+	events  uint64 // total emitted, drops included
+	drops   uint64 // overwritten events
+
+	locks     map[string]*LockStat
+	lockOrder []string // insertion order, for deterministic iteration
+
+	tasks       uint64
+	outliers    uint64
+	records     []BlameRecord
+	recordDrops uint64
+}
+
+// New returns a tracer for the named kernel.
+func New(kernelName string, opts Options) *Tracer {
+	o := opts.withDefaults()
+	return &Tracer{
+		opts:   o,
+		kernel: kernelName,
+		ring:   make([]Event, 0, o.BufferCap),
+		locks:  make(map[string]*LockStat),
+	}
+}
+
+// Kernel returns the name of the kernel this tracer is attached to.
+func (tr *Tracer) Kernel() string { return tr.kernel }
+
+// Options returns the effective configuration.
+func (tr *Tracer) Options() Options { return tr.opts }
+
+// Events returns the buffered events in chronological order. The slice is
+// freshly allocated when the ring has wrapped.
+func (tr *Tracer) Events() []Event {
+	if !tr.wrapped {
+		return tr.ring
+	}
+	out := make([]Event, 0, len(tr.ring))
+	out = append(out, tr.ring[tr.next:]...)
+	out = append(out, tr.ring[:tr.next]...)
+	return out
+}
+
+// EventCount returns the total number of events emitted, dropped ones
+// included.
+func (tr *Tracer) EventCount() uint64 { return tr.events }
+
+// Drops returns how many events were overwritten by ring wraparound.
+func (tr *Tracer) Drops() uint64 { return tr.drops }
+
+// Tasks returns the number of completed tasks observed.
+func (tr *Tracer) Tasks() uint64 { return tr.tasks }
+
+// Outliers returns how many tasks exceeded the blame threshold (retained
+// or not).
+func (tr *Tracer) Outliers() uint64 { return tr.outliers }
+
+// Records returns the retained blame records in completion order.
+func (tr *Tracer) Records() []BlameRecord { return tr.records }
+
+// RecordDrops returns how many outliers exceeded MaxRecords and were
+// counted but not retained.
+func (tr *Tracer) RecordDrops() uint64 { return tr.recordDrops }
+
+// emit appends one event, overwriting the oldest when full.
+func (tr *Tracer) emit(ev Event) {
+	tr.events++
+	if len(tr.ring) < cap(tr.ring) {
+		tr.ring = append(tr.ring, ev)
+		return
+	}
+	tr.ring[tr.next] = ev
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+	}
+	tr.wrapped = true
+	tr.drops++
+}
+
+// lockStat returns (creating if needed) the named lock's aggregate.
+func (tr *Tracer) lockStat(name string) *LockStat {
+	ls, ok := tr.locks[name]
+	if !ok {
+		ls = &LockStat{Name: name}
+		tr.locks[name] = ls
+		tr.lockOrder = append(tr.lockOrder, name)
+	}
+	return ls
+}
+
+// --- hooks, called by internal/kernel (tracer already known non-nil) ---
+
+// BeginTask opens a per-task blame accumulator. start is the task's submit
+// time (wall time is measured from it), queueWait the CPU queueing already
+// paid before the first instruction.
+func (tr *Tracer) BeginTask(at sim.Time, core int, label string, start, queueWait sim.Time) *TaskBlame {
+	tb := &TaskBlame{Label: label, Core: core, Start: start, QueueWait: queueWait}
+	tr.emit(Event{At: at, Kind: EvTaskStart, Core: int32(core), What: label, Dur: queueWait})
+	return tb
+}
+
+// Compute charges on-CPU work to the task (no event: compute is the hot
+// path and carries no shared-structure identity).
+func (tr *Tracer) Compute(tb *TaskBlame, d sim.Time) {
+	if tb != nil {
+		tb.Compute += d
+	}
+}
+
+// LockAcquired records a kernel lock grant: the wait the task paid and the
+// queue length it saw at request time.
+func (tr *Tracer) LockAcquired(tb *TaskBlame, at sim.Time, core int, name string, wait sim.Time, waiters int) {
+	ls := tr.lockStat(name)
+	ls.Acquires++
+	if wait > 0 {
+		ls.Contended++
+		ls.TotalWait += wait
+		if wait > ls.MaxWait {
+			ls.MaxWait = wait
+		}
+	}
+	if waiters > ls.MaxWaiters {
+		ls.MaxWaiters = waiters
+	}
+	ls.Wait.Add(wait.Micros())
+	if tb != nil {
+		tb.addLock(name, wait)
+	}
+	tr.emit(Event{At: at, Kind: EvLockAcquire, Core: int32(core), What: name, Dur: wait, Aux: int64(waiters)})
+}
+
+// LockReleased records a kernel lock release and the hold time (holder
+// preemption included — a housekeeping burst landing on the holder shows
+// up here as an extended hold).
+func (tr *Tracer) LockReleased(at sim.Time, core int, name string, hold sim.Time) {
+	ls := tr.lockStat(name)
+	ls.Holds++
+	ls.TotalHold += hold
+	if hold > ls.MaxHold {
+		ls.MaxHold = hold
+	}
+	ls.Hold.Add(hold.Micros())
+	tr.emit(Event{At: at, Kind: EvLockRelease, Core: int32(core), What: name, Dur: hold})
+}
+
+// MMapWait records an address-space rw-semaphore wait. It aggregates under
+// the pseudo-lock "mmap_sem" (waits only; reader holds overlap and have no
+// single owner).
+func (tr *Tracer) MMapWait(tb *TaskBlame, at sim.Time, core int, wait sim.Time) {
+	ls := tr.lockStat(MMapSemName)
+	ls.Acquires++
+	if wait > 0 {
+		ls.Contended++
+		ls.TotalWait += wait
+		if wait > ls.MaxWait {
+			ls.MaxWait = wait
+		}
+	}
+	ls.Wait.Add(wait.Micros())
+	if tb != nil {
+		tb.addLock(MMapSemName, wait)
+	}
+	tr.emit(Event{At: at, Kind: EvMMapWait, Core: int32(core), What: MMapSemName, Dur: wait})
+}
+
+// MMapSemName is the pseudo-lock name mmap_sem waits aggregate under.
+const MMapSemName = "mmap_sem"
+
+// Steal records CPU stolen from the task's on-CPU work by the given stream
+// (the burst's victim core is the task's core).
+func (tr *Tracer) Steal(tb *TaskBlame, at sim.Time, core int, kind StealKind, d sim.Time) {
+	if tb != nil {
+		tb.Steal[kind] += d
+	}
+	tr.emit(Event{At: at, Kind: EvSteal, Core: int32(core), What: kind.String(), Dur: d})
+}
+
+// IPI records a broadcast the task sent: busWait is the serialization wait
+// on the shared IPI bus, cost the dispatch + ack time the sender pays.
+func (tr *Tracer) IPI(tb *TaskBlame, at sim.Time, core int, targets int, busWait, cost sim.Time) {
+	if tb != nil {
+		tb.IPI += busWait + cost
+	}
+	tr.emit(Event{At: at, Kind: EvIPI, Core: int32(core), Dur: busWait, Aux: int64(targets)})
+}
+
+// BlockIO records one block-device round trip: wait is queueing (guest
+// plus, under virtualization, host), service the device time plus any
+// virtio relay.
+func (tr *Tracer) BlockIO(tb *TaskBlame, at sim.Time, core int, wait, service sim.Time) {
+	if tb != nil {
+		tb.BlockIO += wait + service
+	}
+	tr.emit(Event{At: at, Kind: EvBlockIO, Core: int32(core), Dur: wait, Aux: int64(service)})
+}
+
+// VMExit counts n VM exits charged at the given core.
+func (tr *Tracer) VMExit(at sim.Time, core int, n int) {
+	tr.emit(Event{At: at, Kind: EvVMExit, Core: int32(core), Aux: int64(n)})
+}
+
+// Sleep records a voluntary off-CPU wait (tick-quantized wakeup included).
+func (tr *Tracer) Sleep(tb *TaskBlame, at sim.Time, core int, d sim.Time) {
+	if tb != nil {
+		tb.Sleep += d
+	}
+	tr.emit(Event{At: at, Kind: EvSleep, Core: int32(core), Dur: d})
+}
+
+// EndTask closes the task's accounting. Tasks whose wall time meets the
+// threshold become blame records.
+func (tr *Tracer) EndTask(tb *TaskBlame, at sim.Time, wall sim.Time) {
+	tr.tasks++
+	if tb != nil {
+		tr.emit(Event{At: at, Kind: EvTaskEnd, Core: int32(tb.Core), What: tb.Label, Dur: wall})
+	}
+	if tb == nil || wall < tr.opts.Threshold {
+		return
+	}
+	tr.outliers++
+	if len(tr.records) >= tr.opts.MaxRecords {
+		tr.recordDrops++
+		return
+	}
+	tr.records = append(tr.records, tb.record(at, wall))
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ksa/internal/sim"
+)
+
+func us(n int) sim.Time { return sim.Time(n) * sim.Microsecond }
+
+func TestRingOverwriteCountsDrops(t *testing.T) {
+	tr := New("k", Options{BufferCap: 4})
+	for i := 0; i < 7; i++ {
+		tr.emit(Event{At: sim.Time(i), Kind: EvSteal})
+	}
+	if tr.EventCount() != 7 {
+		t.Fatalf("EventCount = %d", tr.EventCount())
+	}
+	if tr.Drops() != 3 {
+		t.Fatalf("Drops = %d, want 3", tr.Drops())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("buffered %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := sim.Time(3 + i); ev.At != want {
+			t.Fatalf("event %d at %v, want %v (oldest must be overwritten, order chronological)", i, ev.At, want)
+		}
+	}
+}
+
+func TestBlameRecordDecomposition(t *testing.T) {
+	tr := New("k", Options{Threshold: us(100)})
+	tb := tr.BeginTask(0, 3, "p0/c1 fsync", 0, us(5))
+	tr.Compute(tb, us(10))
+	tr.LockAcquired(tb, us(50), 3, "journal", us(60), 7)
+	tr.LockAcquired(tb, us(55), 3, "journal", us(20), 1) // same lock accumulates
+	tr.IPI(tb, us(60), 3, 63, us(4), us(6))
+	tr.Steal(tb, us(70), 3, StealHousekeeping, us(15))
+	tr.EndTask(tb, us(130), us(130))
+
+	if tr.Tasks() != 1 || tr.Outliers() != 1 {
+		t.Fatalf("tasks=%d outliers=%d", tr.Tasks(), tr.Outliers())
+	}
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.Cause != LockCause("journal") || r.CauseTime != us(80) {
+		t.Fatalf("dominant = %s %v, want lock:journal 80µs", r.Cause, r.CauseTime)
+	}
+	if got := r.PartTime(CauseCompute); got != us(10) {
+		t.Fatalf("compute part = %v", got)
+	}
+	if got := r.PartTime(CauseIPI); got != us(10) {
+		t.Fatalf("ipi part = %v (busWait+cost)", got)
+	}
+	if got := r.PartTime(StealCause(StealHousekeeping)); got != us(15) {
+		t.Fatalf("steal part = %v", got)
+	}
+	// 5 queue + 10 compute + 80 lock + 10 ipi + 15 steal = 120; residual 10.
+	if got := r.PartTime(CauseOther); got != us(10) {
+		t.Fatalf("other part = %v", got)
+	}
+	var sum sim.Time
+	for _, p := range r.Parts {
+		sum += p.Time
+	}
+	if sum != r.Wall {
+		t.Fatalf("parts sum to %v, wall is %v", sum, r.Wall)
+	}
+	for i := 1; i < len(r.Parts); i++ {
+		if r.Parts[i].Time > r.Parts[i-1].Time {
+			t.Fatal("parts not sorted largest first")
+		}
+	}
+	if !strings.Contains(r.String(), "lock:journal") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestBelowThresholdNotRecorded(t *testing.T) {
+	tr := New("k", Options{Threshold: us(1000)})
+	tb := tr.BeginTask(0, 0, "fast", 0, 0)
+	tr.Compute(tb, us(5))
+	tr.EndTask(tb, us(5), us(5))
+	if tr.Outliers() != 0 || len(tr.Records()) != 0 {
+		t.Fatal("sub-threshold task recorded")
+	}
+	if tr.Tasks() != 1 {
+		t.Fatal("task not counted")
+	}
+}
+
+func TestMaxRecordsCap(t *testing.T) {
+	tr := New("k", Options{Threshold: 1, MaxRecords: 2})
+	for i := 0; i < 5; i++ {
+		tb := tr.BeginTask(0, 0, "slow", 0, 0)
+		tr.EndTask(tb, us(10), us(10))
+	}
+	if len(tr.Records()) != 2 {
+		t.Fatalf("%d records retained, want 2", len(tr.Records()))
+	}
+	if tr.Outliers() != 5 || tr.RecordDrops() != 3 {
+		t.Fatalf("outliers=%d recordDrops=%d", tr.Outliers(), tr.RecordDrops())
+	}
+}
+
+func TestHooksNilBlameSafe(t *testing.T) {
+	tr := New("k", Options{})
+	tr.Compute(nil, us(1))
+	tr.LockAcquired(nil, 0, 0, "journal", us(1), 0)
+	tr.MMapWait(nil, 0, 0, us(1))
+	tr.Steal(nil, 0, 0, StealTick, us(1))
+	tr.IPI(nil, 0, 0, 3, us(1), us(1))
+	tr.BlockIO(nil, 0, 0, us(1), us(1))
+	tr.Sleep(nil, 0, 0, us(1))
+	tr.EndTask(nil, us(1), us(5000)) // over threshold but no accumulator
+	if len(tr.Records()) != 0 {
+		t.Fatal("nil-blame EndTask produced a record")
+	}
+	if tr.LockStat("journal") == nil {
+		t.Fatal("lockstat aggregation must not depend on a task accumulator")
+	}
+}
+
+func TestLockStatsAggregationAndOrder(t *testing.T) {
+	tr := New("k", Options{})
+	tr.LockAcquired(nil, 0, 0, "a", us(10), 2)
+	tr.LockAcquired(nil, 0, 0, "a", 0, 0)
+	tr.LockReleased(0, 0, "a", us(3))
+	tr.LockAcquired(nil, 0, 0, "b", us(40), 5)
+	tr.MMapWait(nil, 0, 0, us(2))
+
+	ls := tr.LockStat("a")
+	if ls.Acquires != 2 || ls.Contended != 1 || ls.TotalWait != us(10) || ls.MaxWaiters != 2 {
+		t.Fatalf("lock a aggregate wrong: %+v", ls)
+	}
+	if ls.Holds != 1 || ls.TotalHold != us(3) || ls.MaxHold != us(3) {
+		t.Fatalf("lock a holds wrong: %+v", ls)
+	}
+	if ls.ContentionRate() != 0.5 {
+		t.Fatalf("contention rate = %v", ls.ContentionRate())
+	}
+	all := tr.LockStats()
+	if len(all) != 3 || all[0].Name != "b" {
+		t.Fatalf("LockStats order wrong: %v", all)
+	}
+	if tr.LockStat(MMapSemName).TotalWait != us(2) {
+		t.Fatal("mmap_sem wait not aggregated")
+	}
+}
+
+func TestMergeLockStats(t *testing.T) {
+	mk := func(wait sim.Time) *Tracer {
+		tr := New("k", Options{})
+		tr.LockAcquired(nil, 0, 0, "journal", wait, 1)
+		tr.LockReleased(0, 0, "journal", wait/2)
+		return tr
+	}
+	a, b := mk(us(10)), mk(us(30))
+	merged := MergeLockStats([]*Tracer{a, b})
+	if len(merged) != 1 {
+		t.Fatalf("%d merged stats", len(merged))
+	}
+	m := merged[0]
+	if m.Acquires != 2 || m.TotalWait != us(40) || m.MaxWait != us(30) {
+		t.Fatalf("merged: %+v", m)
+	}
+	if m.Holds != 2 || m.TotalHold != us(20) || m.MaxHold != us(15) {
+		t.Fatalf("merged holds: %+v", m)
+	}
+	if m.Wait.Count() != 2 {
+		t.Fatal("histograms not merged")
+	}
+	// The inputs are untouched.
+	if a.LockStat("journal").Acquires != 1 {
+		t.Fatal("merge mutated its input")
+	}
+}
+
+func TestTotalsOf(t *testing.T) {
+	tr := New("k", Options{Threshold: 1})
+	for i := 0; i < 3; i++ {
+		tb := tr.BeginTask(0, 0, "x", 0, 0)
+		tr.LockAcquired(tb, 0, 0, "journal", us(50), 0)
+		tr.Compute(tb, us(5))
+		tr.EndTask(tb, us(55), us(55))
+	}
+	totals := TotalsOf(tr.Records())
+	if len(totals) == 0 || totals[0].Cause != LockCause("journal") {
+		t.Fatalf("totals = %+v", totals)
+	}
+	top := totals[0]
+	if top.Dominated != 3 || top.Total != us(150) || top.Worst != us(50) {
+		t.Fatalf("journal total = %+v", top)
+	}
+}
+
+func TestEventKindAndStealNames(t *testing.T) {
+	if EvLockAcquire.String() != "lock-acquire" || EvSteal.String() != "steal" {
+		t.Fatal("event kind names wrong")
+	}
+	if EventKind(200).String() != "event?" {
+		t.Fatal("unknown kind not guarded")
+	}
+	if StealHostResidency.String() != "host-residency" || StealKind(9).String() != "steal?" {
+		t.Fatal("steal names wrong")
+	}
+	if !strings.Contains(New("kern0", Options{}).Summary(), "kern0") {
+		t.Fatal("Summary missing kernel name")
+	}
+}

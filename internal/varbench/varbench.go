@@ -11,6 +11,7 @@ package varbench
 
 import (
 	"fmt"
+	"sort"
 
 	"ksa/internal/corpus"
 	"ksa/internal/platform"
@@ -18,6 +19,7 @@ import (
 	"ksa/internal/sim"
 	"ksa/internal/stats"
 	"ksa/internal/syscalls"
+	"ksa/internal/trace"
 )
 
 // Options configures a harness run.
@@ -38,6 +40,11 @@ type Options struct {
 	ReleaseSkewMean sim.Time
 	// Seed perturbs the harness's own randomness (release skew).
 	Seed uint64
+	// Trace, when non-nil, attaches a tracer to every kernel in the
+	// environment and labels each submitted task with its call site, so the
+	// Result carries per-site blame records. Tracing is observational: the
+	// measured latencies are bit-identical with Trace set or nil.
+	Trace *trace.Options
 }
 
 // DefaultOptions returns the scaled-down defaults used throughout the
@@ -81,7 +88,12 @@ type Result struct {
 	Iterations int
 	Sites      []SiteResult
 
-	index map[Site]int
+	// Tracers holds one tracer per kernel of the environment when
+	// Options.Trace was set; empty otherwise.
+	Tracers []*trace.Tracer
+
+	index     map[Site]int
+	labelSite map[string]Site
 }
 
 // SiteSample returns the sample for a call site, or nil.
@@ -90,6 +102,55 @@ func (r *Result) SiteSample(s Site) *stats.Sample {
 		return r.Sites[i].Sample
 	}
 	return nil
+}
+
+// SiteLabel is the task label format tracing uses, e.g. "p3/c7 fsync";
+// blame records carry it so they can be mapped back to call sites.
+func SiteLabel(prog, call int, name string) string {
+	return fmt.Sprintf("p%d/c%d %s", prog, call, name)
+}
+
+// SiteOf maps a blame record's label back to its call site.
+func (r *Result) SiteOf(rec *trace.BlameRecord) (Site, bool) {
+	s, ok := r.labelSite[rec.Label]
+	return s, ok
+}
+
+// BlameRecords pools the blame records of every traced kernel, worst wall
+// time first (deterministic order; empty without Options.Trace).
+func (r *Result) BlameRecords() []trace.BlameRecord {
+	var out []trace.BlameRecord
+	for _, tr := range r.Tracers {
+		out = append(out, tr.Records()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Wall != out[j].Wall {
+			return out[i].Wall > out[j].Wall
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// SiteBlame returns the blame records attributed to one call site, worst
+// first.
+func (r *Result) SiteBlame(s Site) []trace.BlameRecord {
+	var out []trace.BlameRecord
+	for _, rec := range r.BlameRecords() {
+		if got, ok := r.labelSite[rec.Label]; ok && got == s {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// BlameTotals aggregates blame causes across every traced kernel's
+// records, sorted by total attributed time.
+func (r *Result) BlameTotals() []trace.CauseTotal {
+	return trace.TotalsOf(r.BlameRecords())
 }
 
 // Run executes the corpus on every core of the environment. Programs run
@@ -106,6 +167,14 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 		index:      make(map[Site]int),
 	}
 	tab := syscalls.Default()
+	if opts.Trace != nil {
+		res.labelSite = make(map[string]Site)
+		for _, k := range env.Kernels {
+			tr := trace.New(k.Name(), *opts.Trace)
+			k.SetTracer(tr)
+			res.Tracers = append(res.Tracers, tr)
+		}
+	}
 	for pi, p := range c.Programs {
 		for ci, call := range p.Calls {
 			s := Site{Program: pi, Call: ci}
@@ -115,6 +184,9 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 				Syscall: call.Syscall,
 				Sample:  stats.NewSample(nCores * opts.Iterations),
 			})
+			if opts.Trace != nil {
+				res.labelSite[SiteLabel(pi, ci, tab.Get(call.Syscall).Name)] = s
+			}
 		}
 	}
 
@@ -145,6 +217,12 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 		barrier.Arrive(func() {
 			ref := env.Core(core)
 			r := corpus.NewRunner(env.Eng, ref.Kernel, ref.Core, tab)
+			if opts.Trace != nil {
+				pi := prog
+				r.Label = func(call int, name string) string {
+					return SiteLabel(pi, call, name)
+				}
+			}
 			record := iter >= opts.Warmup
 			p := c.Programs[prog]
 			r.Run(p,

@@ -35,6 +35,7 @@ import (
 	"ksa/internal/stats"
 	"ksa/internal/syscalls"
 	"ksa/internal/tailbench"
+	"ksa/internal/trace"
 	"ksa/internal/varbench"
 )
 
@@ -71,6 +72,16 @@ type (
 	ClusterResult = cluster.Result
 	// Scale sets experiment sizes for the table/figure runners.
 	Scale = core.Scale
+	// TraceOptions configures kernel tracing (set VarbenchOptions.Trace).
+	TraceOptions = trace.Options
+	// Tracer records one kernel's events, lockstat, and blame.
+	Tracer = trace.Tracer
+	// BlameRecord decomposes one over-threshold task's wall time.
+	BlameRecord = trace.BlameRecord
+	// CauseTotal aggregates one blame cause across records.
+	CauseTotal = trace.CauseTotal
+	// BlameResult is a traced varbench run (RunBlame).
+	BlameResult = core.BlameResult
 )
 
 // Environment kinds.
@@ -133,6 +144,19 @@ func NewContainerEnvironment(eng *Engine, m Machine, n int, seed uint64) *Enviro
 // distributions.
 func RunVarbench(env *Environment, c *Corpus, opts VarbenchOptions) *VarbenchResult {
 	return varbench.Run(env, c, opts)
+}
+
+// RunBlame deploys the corpus at this scale on the chosen environment with
+// tracing enabled and returns per-site blame attribution alongside the
+// latency distributions (cmd/ksatrace's engine).
+func RunBlame(sc Scale, kind EnvKind, units int, threshold Time) BlameResult {
+	return core.RunBlame(sc, kind, units, threshold)
+}
+
+// RenderBlame formats a traced varbench result's blame report; top bounds
+// the worst-record list.
+func RenderBlame(res *VarbenchResult, top int) string {
+	return core.RenderBlame(res, top)
 }
 
 // Apps returns the paper's Table 4 tailbench workload profiles.
