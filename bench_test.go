@@ -8,6 +8,15 @@ package ksa_test
 //
 // at the repository root; EXPERIMENTS.md records a full-scale reference
 // run (via cmd/ksaexp) against the paper's numbers.
+//
+// The experiment runners fan their independent simulations across
+// GOMAXPROCS worker threads (Scale.Parallel = 0), so
+//
+//	go test -bench 'Figure|Table' -cpu 1,8
+//
+// contrasts serial and 8-way parallel sweeps directly; results are
+// bit-identical at every -cpu value, only wall-clock time changes.
+// BenchmarkSweepParallel isolates the orchestrator itself.
 
 import (
 	"testing"
@@ -113,6 +122,34 @@ func BenchmarkVarbenchNative(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := ksa.NewNativeEnvironment(ksa.NewEngine(), ksa.PaperMachine, 7)
 		_ = ksa.RunVarbench(env, c, opts)
+	}
+}
+
+// BenchmarkSweepParallel measures the worker-pool orchestrator end to end:
+// an 8-job environment × trial sweep fanned across GOMAXPROCS workers (set
+// -cpu 1,8 to contrast serial and parallel wall-clock on the same
+// bit-identical results).
+func BenchmarkSweepParallel(b *testing.B) {
+	sc := ksa.QuickScale()
+	sc.CorpusPrograms = 10
+	sc.Iterations = 3
+	opts := ksa.SweepOptions{
+		Scale:   sc,
+		Machine: ksa.Machine{Cores: 8, MemGB: 4},
+		Envs: []ksa.EnvSpec{
+			{Kind: ksa.KindNative},
+			{Kind: ksa.KindVMs, Units: 4},
+			{Kind: ksa.KindVMs, Units: 8},
+			{Kind: ksa.KindContainers, Units: 8},
+		},
+		Trials: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunSweep(opts)
+		if len(res.Runs) != 8 {
+			b.Fatal("bad result")
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
-//	       [-seed N] [-trace]
+//	       [-seed N] [-parallel N] [-trace]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
@@ -26,6 +26,7 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame or all (lightvm/ablation/blame are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
+	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
 	flag.Parse()
@@ -49,6 +50,11 @@ func main() {
 		}
 		sc.Seed = *seed
 	}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "ksaexp: -parallel must be >= 0")
+		os.Exit(2)
+	}
+	sc.Parallel = *parallel
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

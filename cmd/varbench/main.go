@@ -5,11 +5,18 @@
 // Usage:
 //
 //	varbench [-corpus file] [-env native|kvm|docker] [-units N]
-//	         [-cores N] [-mem GB] [-iters N] [-seed N] [-trace]
+//	         [-cores N] [-mem GB] [-iters N] [-warmup N] [-seed N]
+//	         [-trials N] [-parallel N] [-trace]
 //
 // Without -corpus, a corpus is generated on the fly from the seed. With
 // -trace, every kernel is traced and the blame report (top-blamed shared
 // structures, worst records, pooled lockstat) follows the breakdowns.
+//
+// With -trials N (N > 1) the run becomes a sweep: N independent
+// repetitions of the same configuration, each with a seed derived from its
+// trial key, fanned across -parallel worker threads (0 = GOMAXPROCS). The
+// per-trial breakdowns and the fan-out metrics are printed; results are
+// bit-identical for every -parallel value.
 package main
 
 import (
@@ -26,9 +33,11 @@ func main() {
 	units := flag.Int("units", 64, "number of VMs/containers (kvm and docker)")
 	cores := flag.Int("cores", 64, "machine cores")
 	mem := flag.Float64("mem", 32, "machine memory (GB)")
-	iters := flag.Int("iters", 20, "recorded iterations per program")
+	iters := flag.Int("iters", 20, "recorded iterations per program (0 = warmup only)")
 	warmup := flag.Int("warmup", 2, "warmup iterations")
 	seed := flag.Uint64("seed", 42, "experiment seed (nonzero)")
+	trials := flag.Int("trials", 1, "independent repetitions with per-trial derived seeds")
+	parallel := flag.Int("parallel", 0, "worker threads for a multi-trial sweep (0 = GOMAXPROCS)")
 	contention := flag.Bool("contention", false, "print per-kernel lock contention reports")
 	traceOn := flag.Bool("trace", false, "trace every kernel and print the blame report")
 	flag.Parse()
@@ -36,6 +45,16 @@ func main() {
 	if *seed == 0 {
 		fmt.Fprintln(os.Stderr, "varbench: -seed 0 is reserved as the 'unset' sentinel across the ksa tools; pass a nonzero seed")
 		os.Exit(2)
+	}
+	if *trials < 1 {
+		fmt.Fprintln(os.Stderr, "varbench: -trials must be >= 1")
+		os.Exit(2)
+	}
+	// The flag's zero is explicit (the default is 20), so it maps to the
+	// library's literal-zero sentinel rather than "use the default".
+	itersOpt := *iters
+	if itersOpt == 0 {
+		itersOpt = ksa.ExplicitZero
 	}
 
 	var c *ksa.Corpus
@@ -56,43 +75,43 @@ func main() {
 	}
 
 	m := ksa.Machine{Cores: *cores, MemGB: *mem}
-	eng := ksa.NewEngine()
-	var env *ksa.Environment
+	var kind ksa.EnvKind
 	switch *envKind {
 	case "native":
-		env = ksa.NewNativeEnvironment(eng, m, *seed)
+		kind = ksa.KindNative
 	case "kvm":
-		env = ksa.NewVMEnvironment(eng, m, *units, *seed)
+		kind = ksa.KindVMs
 	case "docker":
-		env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
+		kind = ksa.KindContainers
 	default:
 		fmt.Fprintf(os.Stderr, "varbench: unknown -env %q\n", *envKind)
 		os.Exit(2)
 	}
 
-	opts := ksa.VarbenchOptions{Iterations: *iters, Warmup: *warmup, Seed: *seed}
+	if *trials > 1 {
+		runSweep(kind, m, c, itersOpt, *warmup, *seed, *trials, *parallel, *traceOn)
+		return
+	}
+
+	eng := ksa.NewEngine()
+	var env *ksa.Environment
+	switch kind {
+	case ksa.KindNative:
+		env = ksa.NewNativeEnvironment(eng, m, *seed)
+	case ksa.KindVMs:
+		env = ksa.NewVMEnvironment(eng, m, *units, *seed)
+	case ksa.KindContainers:
+		env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
+	}
+
+	opts := ksa.VarbenchOptions{Iterations: itersOpt, Warmup: *warmup, Seed: *seed}
 	if *traceOn {
 		opts.Trace = &ksa.TraceOptions{}
 	}
 	res := ksa.RunVarbench(env, c, opts)
 	fmt.Printf("%s: %d call sites, %d cores, %d iterations\n",
 		env.Name, len(res.Sites), res.Cores, res.Iterations)
-	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n", "metric", "1µs", "10µs", "100µs", "1ms", "10ms", ">10ms")
-	for _, row := range []struct {
-		name string
-		b    ksa.Breakdown
-	}{
-		{"median", res.MedianBreakdown()},
-		{"p99", res.P99Breakdown()},
-		{"max", res.MaxBreakdown()},
-	} {
-		cells := row.b.Row()
-		fmt.Printf("%-8s", row.name)
-		for _, cell := range cells {
-			fmt.Printf(" %8s", cell)
-		}
-		fmt.Println()
-	}
+	printBreakdowns(res)
 	if *contention {
 		fmt.Println()
 		// With many kernels (64 VMs) print only the first; they are
@@ -109,4 +128,51 @@ func main() {
 		fmt.Println()
 		fmt.Print(ksa.RenderBlame(res, 10))
 	}
+}
+
+func printBreakdowns(res *ksa.VarbenchResult) {
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n", "metric", "1µs", "10µs", "100µs", "1ms", "10ms", ">10ms")
+	for _, row := range []struct {
+		name string
+		b    ksa.Breakdown
+	}{
+		{"median", res.MedianBreakdown()},
+		{"p99", res.P99Breakdown()},
+		{"max", res.MaxBreakdown()},
+	} {
+		cells := row.b.Row()
+		fmt.Printf("%-8s", row.name)
+		for _, cell := range cells {
+			fmt.Printf(" %8s", cell)
+		}
+		fmt.Println()
+	}
+}
+
+func runSweep(kind ksa.EnvKind, m ksa.Machine, c *ksa.Corpus,
+	iters, warmup int, seed uint64, trials, parallel int, traceOn bool) {
+	sc := ksa.QuickScale()
+	sc.Seed = seed
+	sc.Iterations = iters
+	sc.Warmup = warmup
+	sc.Parallel = parallel
+	env := ksa.EnvSpec{Kind: kind}
+	if kind != ksa.KindNative {
+		env.Units = flag.Lookup("units").Value.(flag.Getter).Get().(int)
+	}
+	res := ksa.RunSweep(ksa.SweepOptions{
+		Scale: sc, Machine: m, Envs: []ksa.EnvSpec{env},
+		Trials: trials, Trace: traceOn, Corpus: c,
+	})
+	for _, run := range res.Runs {
+		fmt.Printf("%s (seed %#x): %d call sites, %d cores, %d iterations\n",
+			run.Key(), run.Seed, len(run.Res.Sites), run.Res.Cores, run.Res.Iterations)
+		printBreakdowns(run.Res)
+		if traceOn {
+			fmt.Println()
+			fmt.Print(ksa.RenderBlame(run.Res, 5))
+		}
+		fmt.Println()
+	}
+	fmt.Println(res.Par.String())
 }

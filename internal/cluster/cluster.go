@@ -20,6 +20,7 @@ import (
 	"ksa/internal/kernel"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
+	"ksa/internal/runner"
 	"ksa/internal/sim"
 	"ksa/internal/syscalls"
 	"ksa/internal/tailbench"
@@ -58,6 +59,12 @@ type Config struct {
 	// BarrierHop is the inter-node network barrier per-round latency
 	// (default 15µs, a cluster interconnect).
 	BarrierHop sim.Time
+	// Workers bounds the OS threads that advance node simulations
+	// concurrently (0 = GOMAXPROCS). Each node is an independent
+	// single-threaded virtual-time world between barriers, so any worker
+	// count — and any fan-out order — produces bit-identical results;
+	// Workers only changes wall-clock time.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,15 +121,17 @@ func (r *Result) StragglerFactor() float64 {
 	return mean / float64(r.MeanNodeTime)
 }
 
-// node is one simulated cluster node.
+// node is one simulated cluster node: an independent single-threaded
+// virtual-time world with its own engine. Nodes interact only through the
+// BSP barrier, which the orchestrator computes analytically, so node
+// simulations advance on separate OS threads between barriers.
 type node struct {
+	eng   *sim.Engine
 	env   *platform.Environment
 	cores []platform.CoreRef
 	procs []*syscalls.Proc
 	src   *rng.Source
 
-	free   []int
-	queued int
 	issued int
 	done   int
 	target int
@@ -132,7 +141,19 @@ type node struct {
 // of a Run.
 var debugHook func(*platform.Environment)
 
-// Run executes the configured cluster experiment.
+// submitOrder, when set by tests, permutes the order nodes are handed to
+// the worker pool each iteration; results must be invariant under it.
+var submitOrder func(n int) []int
+
+// Run executes the configured cluster experiment. Each BSP iteration fans
+// the nodes across Workers OS threads; all nodes' iteration completion
+// times are then merged (in node order) into the barrier release time
+//
+//	release = max(completion) + ReleaseLatencyFor(nodes, hop)
+//
+// at which the next iteration starts on every node's private engine. The
+// merge is a pure max over virtual times, so worker count and scheduling
+// order cannot leak into any result bit.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	if cfg.App == nil {
@@ -141,8 +162,11 @@ func Run(cfg Config) Result {
 	if cfg.Contended && cfg.NoiseCorpus == nil {
 		panic("cluster: contended run needs a NoiseCorpus")
 	}
-	eng := sim.NewEngine()
-	root := rng.New(cfg.Seed)
+	switch cfg.Kind {
+	case platform.KindVMs, platform.KindLightVMs, platform.KindContainers:
+	default:
+		panic(fmt.Sprintf("cluster: unsupported kind %v", cfg.Kind))
+	}
 
 	per := cfg.NodeMachine.Cores / cfg.Partitions
 	conc := cfg.Concurrency
@@ -150,91 +174,120 @@ func Run(cfg Config) Result {
 		conc = per
 	}
 
-	nodes := make([]*node, cfg.Nodes)
-	for i := range nodes {
-		src := root.Split(uint64(i) + 100)
-		var env *platform.Environment
-		switch cfg.Kind {
-		case platform.KindVMs:
-			env = platform.VMs(eng, cfg.NodeMachine, cfg.Partitions, src)
-		case platform.KindLightVMs:
-			env = platform.LightVMs(eng, cfg.NodeMachine, cfg.Partitions, src)
-		case platform.KindContainers:
-			env = platform.Containers(eng, cfg.NodeMachine, cfg.Partitions, src)
-		default:
-			panic(fmt.Sprintf("cluster: unsupported kind %v", cfg.Kind))
-		}
-		n := &node{env: env, src: src.Split(7), target: cfg.RequestsPerIter}
-		for c := 0; c < per; c++ {
-			ref := env.Core(c)
-			proc := syscalls.NewProc(eng)
-			proc.Salt = uint64(i*64+c+1) * 0x9e3779b97f4a7c15
-			proc.VMAs = 8
-			n.cores = append(n.cores, ref)
-			n.procs = append(n.procs, proc)
-			n.free = append(n.free, c)
-		}
-		nodes[i] = n
-		if cfg.Contended {
-			noiseCores := make([]platform.CoreRef, 0, cfg.NodeMachine.Cores-per)
-			for c := per; c < cfg.NodeMachine.Cores; c++ {
-				noiseCores = append(noiseCores, env.Core(c))
-			}
-			skew := src.Split(8)
-			tailbench.StartNoise(env, noiseCores, cfg.NoiseCorpus, sim.Forever,
-				cfg.NoiseIterGap, func() sim.Time {
-					return sim.Time(skew.Exp(float64(6 * sim.Microsecond)))
-				})
-		}
+	// Per-node rng streams split from the root serially, in node order —
+	// the node fan-out must never touch a shared stream.
+	root := rng.New(cfg.Seed)
+	srcs := make([]*rng.Source, cfg.Nodes)
+	for i := range srcs {
+		srcs[i] = root.Split(uint64(i) + 100)
 	}
+	nodes := make([]*node, cfg.Nodes)
+	runner.Run(cfg.Nodes, cfg.Workers, func(i int) {
+		nodes[i] = newNode(cfg, i, srcs[i], per)
+	})
 
-	barrier := sim.NewBarrier(eng, cfg.Nodes, cfg.BarrierHop)
 	res := Result{App: cfg.App.Name, Env: cfg.Kind.String(), Contended: cfg.Contended}
-	var iterStart sim.Time
+	releaseLat := sim.ReleaseLatencyFor(cfg.Nodes, cfg.BarrierHop)
+	order := make([]int, cfg.Nodes)
+	for i := range order {
+		order[i] = i
+	}
+	if submitOrder != nil {
+		order = submitOrder(cfg.Nodes)
+	}
+	ends := make([]sim.Time, cfg.Nodes)
+	var release sim.Time // previous epoch's barrier release (first epoch: t=0)
 	var nodeTimeSum sim.Time
 	var nodeTimeCount int
-	iter := 0
-
-	var startIteration func()
-	startIteration = func() {
-		iterStart = eng.Now()
-		for _, n := range nodes {
-			n.issued, n.done = 0, 0
-			n.runIteration(eng, cfg.App, conc, func(nd *node) {
-				nodeTimeSum += eng.Now() - iterStart
-				nodeTimeCount++
-				barrier.Arrive(func() {
-					// Only the first releasee per epoch advances the state.
-					if nd != nodes[0] {
-						return
-					}
-					res.IterTimes = append(res.IterTimes, eng.Now()-iterStart)
-					iter++
-					if iter < cfg.Iterations {
-						startIteration()
-					}
-				})
-			})
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		start := release
+		runner.Run(cfg.Nodes, cfg.Workers, func(j int) {
+			i := order[j]
+			ends[i] = nodes[i].runIterationAt(cfg.App, conc, start)
+		})
+		last := start
+		for _, e := range ends {
+			if e > last {
+				last = e
+			}
+			nodeTimeSum += e - start
 		}
-	}
-	startIteration()
-	// Noise runs with deadline Forever under Contended; the engine would
-	// never drain, so run until the last iteration completes instead.
-	for iter < cfg.Iterations && eng.Step() {
+		nodeTimeCount += cfg.Nodes
+		release = last + releaseLat
+		res.IterTimes = append(res.IterTimes, release-start)
 	}
 	if debugHook != nil {
 		debugHook(nodes[0].env)
 	}
-	res.Runtime = eng.Now()
+	res.Runtime = release
 	if nodeTimeCount > 0 {
 		res.MeanNodeTime = nodeTimeSum / sim.Time(nodeTimeCount)
 	}
 	return res
 }
 
+// newNode builds one node's private world: engine, environment, worker
+// procs, and (when contended) the co-tenant noise stream.
+func newNode(cfg Config, i int, src *rng.Source, per int) *node {
+	eng := sim.NewEngine()
+	var env *platform.Environment
+	switch cfg.Kind {
+	case platform.KindVMs:
+		env = platform.VMs(eng, cfg.NodeMachine, cfg.Partitions, src)
+	case platform.KindLightVMs:
+		env = platform.LightVMs(eng, cfg.NodeMachine, cfg.Partitions, src)
+	case platform.KindContainers:
+		env = platform.Containers(eng, cfg.NodeMachine, cfg.Partitions, src)
+	}
+	n := &node{eng: eng, env: env, src: src.Split(7), target: cfg.RequestsPerIter}
+	for c := 0; c < per; c++ {
+		ref := env.Core(c)
+		proc := syscalls.NewProc(eng)
+		proc.Salt = uint64(i*64+c+1) * 0x9e3779b97f4a7c15
+		proc.VMAs = 8
+		n.cores = append(n.cores, ref)
+		n.procs = append(n.procs, proc)
+	}
+	if cfg.Contended {
+		noiseCores := make([]platform.CoreRef, 0, cfg.NodeMachine.Cores-per)
+		for c := per; c < cfg.NodeMachine.Cores; c++ {
+			noiseCores = append(noiseCores, env.Core(c))
+		}
+		skew := src.Split(8)
+		tailbench.StartNoise(env, noiseCores, cfg.NoiseCorpus, sim.Forever,
+			cfg.NoiseIterGap, func() sim.Time {
+				return sim.Time(skew.Exp(float64(6 * sim.Microsecond)))
+			})
+	}
+	return n
+}
+
+// runIterationAt schedules the node's BSP iteration at the barrier release
+// time `start` and advances the node's private engine until the last
+// response arrives, returning the node's arrival-at-barrier time. Noise
+// events between the previous completion and `start` are interleaved
+// naturally: they sit in the same heap and run in timestamp order.
+func (n *node) runIterationAt(app *tailbench.App, conc int, start sim.Time) sim.Time {
+	n.issued, n.done = 0, 0
+	finished := false
+	var end sim.Time
+	n.eng.At(start, func() {
+		n.runIteration(app, conc, func() {
+			finished = true
+			end = n.eng.Now()
+		})
+	})
+	for !finished {
+		if !n.eng.Step() {
+			panic("cluster: node engine drained before the iteration completed")
+		}
+	}
+	return end
+}
+
 // runIteration issues the node's fixed request quota closed-loop (conc
 // outstanding at a time) and calls complete when the last response arrives.
-func (n *node) runIteration(eng *sim.Engine, app *tailbench.App, conc int, complete func(*node)) {
+func (n *node) runIteration(app *tailbench.App, conc int, complete func()) {
 	var issue func(w int)
 	issue = func(w int) {
 		n.issued++
@@ -251,7 +304,7 @@ func (n *node) runIteration(eng *sim.Engine, app *tailbench.App, conc int, compl
 					return
 				}
 				if n.done == n.target {
-					complete(n)
+					complete()
 				}
 			},
 		})

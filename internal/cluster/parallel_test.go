@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"ksa/internal/platform"
+)
+
+// resultsEqual compares every observable field bit-for-bit.
+func resultsEqual(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Runtime != b.Runtime {
+		t.Fatalf("%s: Runtime %v vs %v", label, a.Runtime, b.Runtime)
+	}
+	if a.MeanNodeTime != b.MeanNodeTime {
+		t.Fatalf("%s: MeanNodeTime %v vs %v", label, a.MeanNodeTime, b.MeanNodeTime)
+	}
+	if len(a.IterTimes) != len(b.IterTimes) {
+		t.Fatalf("%s: %d vs %d iterations", label, len(a.IterTimes), len(b.IterTimes))
+	}
+	for i := range a.IterTimes {
+		if a.IterTimes[i] != b.IterTimes[i] {
+			t.Fatalf("%s: iteration %d: %v vs %v", label, i, a.IterTimes[i], b.IterTimes[i])
+		}
+	}
+	if a.StragglerFactor() != b.StragglerFactor() {
+		t.Fatalf("%s: StragglerFactor %v vs %v", label, a.StragglerFactor(), b.StragglerFactor())
+	}
+}
+
+// StragglerFactor (and every other Result field) must be invariant under
+// the worker count the node fan-out runs on — parallelism may only change
+// wall-clock time, never a simulated bit.
+func TestResultInvariantUnderWorkerCount(t *testing.T) {
+	noise := testNoise(t)
+	cfg := smallConfig("xapian", platform.KindContainers, true, noise)
+	cfg.Workers = 1
+	base := Run(cfg)
+	if base.StragglerFactor() < 1 {
+		t.Fatalf("straggler factor %v < 1", base.StragglerFactor())
+	}
+	for _, w := range []int{2, 3, 8} {
+		cfg.Workers = w
+		resultsEqual(t, "workers", base, Run(cfg))
+	}
+}
+
+// ...and invariant under the order nodes are submitted to the pool.
+func TestResultInvariantUnderSubmissionOrder(t *testing.T) {
+	cfg := smallConfig("sphinx", platform.KindVMs, false, nil)
+	cfg.Workers = 4
+	base := Run(cfg)
+	defer func() { submitOrder = nil }()
+	orders := map[string]func(n int) []int{
+		"reversed": func(n int) []int {
+			o := make([]int, n)
+			for i := range o {
+				o[i] = n - 1 - i
+			}
+			return o
+		},
+		"rotated": func(n int) []int {
+			o := make([]int, n)
+			for i := range o {
+				o[i] = (i + n/2) % n
+			}
+			return o
+		},
+		"interleaved": func(n int) []int {
+			var o []int
+			for i := 0; i < n; i += 2 {
+				o = append(o, i)
+			}
+			for i := 1; i < n; i += 2 {
+				o = append(o, i)
+			}
+			return o
+		},
+	}
+	for name, ord := range orders {
+		submitOrder = ord
+		resultsEqual(t, name, base, Run(cfg))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"ksa/internal/platform"
 	"ksa/internal/report"
 	"ksa/internal/rng"
+	"ksa/internal/runner"
 	"ksa/internal/sim"
 	"ksa/internal/varbench"
 )
@@ -67,8 +68,9 @@ func ablationVariants() []ablationVariant {
 // RunAblation executes the ablation study at the given scale.
 func RunAblation(sc Scale) AblationResult {
 	c, _ := sc.GenerateCorpus()
-	var out AblationResult
-	for _, v := range ablationVariants() {
+	variants := ablationVariants()
+	rows, _ := runner.Map(len(variants), sc.Parallel, func(i int) AblationRow {
+		v := variants[i]
 		par := kernel.DefaultParams(platform.PaperMachine.Cores, platform.PaperMachine.MemGB)
 		v.mut(&par)
 		eng := sim.NewEngine()
@@ -82,14 +84,14 @@ func RunAblation(sc Scale) AblationResult {
 		r := varbench.Run(env, c, sc.vbOptions())
 		p99 := r.P99Breakdown()
 		max := r.MaxBreakdown()
-		out.Rows = append(out.Rows, AblationRow{
+		return AblationRow{
 			Variant:     v.name,
 			P99Over1ms:  100 - p99.Under[3],
 			MaxOver1ms:  100 - max.Under[3],
 			MaxOver10ms: 100 - max.Under[4],
-		})
-	}
-	return out
+		}
+	})
+	return AblationResult{Rows: rows}
 }
 
 // Render formats the ablation table.

@@ -8,6 +8,7 @@ import (
 	"ksa/internal/corpus"
 	"ksa/internal/platform"
 	"ksa/internal/report"
+	"ksa/internal/runner"
 	"ksa/internal/tailbench"
 )
 
@@ -39,11 +40,11 @@ func RunFigure3(sc Scale) Figure3Result {
 	srv := tailbench.ServerOptions{
 		Util: 0.75, Warmup: sc.ServerWarmup, Measure: sc.ServerMeasure, Seed: sc.Seed,
 	}
-	var out Figure3Result
-	for _, app := range tailbench.Apps() {
-		out.Rows = append(out.Rows, tailbench.RunFig3App(app, noise, srv, sc.Seed))
-	}
-	return out
+	apps := tailbench.Apps()
+	rows, _ := runner.Map(len(apps), sc.Parallel, func(i int) tailbench.Fig3Row {
+		return tailbench.RunFig3App(apps[i], noise, srv, sc.Seed)
+	})
+	return Figure3Result{Rows: rows}
 }
 
 // Render formats the three Figure 3 panels.
@@ -102,22 +103,39 @@ func Fig4Apps() []string {
 // applications, isolated and contended, on KVM and Docker.
 func RunFigure4(sc Scale) Figure4Result {
 	noise := sc.noiseCorpus()
-	var out Figure4Result
-	for _, name := range Fig4Apps() {
-		app := tailbench.AppByName(name)
-		run := func(kind platform.EnvKind, cont bool) float64 {
-			r := cluster.Run(cluster.Config{
-				App: app, Kind: kind, Contended: cont, NoiseCorpus: noise,
-				Nodes: sc.Nodes, Iterations: sc.ClusterIterations,
-				RequestsPerIter: sc.RequestsPerIter, Seed: sc.Seed,
-			})
-			return r.Runtime.Millis()
+	apps := Fig4Apps()
+	// One job per (app, substrate, contention) cell — 24 independent
+	// cluster simulations. The outer fan-out saturates the workers, so each
+	// cluster runs its own nodes serially (Workers: 1) rather than
+	// oversubscribing with nested parallelism; either choice yields the
+	// same bits.
+	type cell struct {
+		app  string
+		kind platform.EnvKind
+		cont bool
+	}
+	var cells []cell
+	for _, name := range apps {
+		for _, kind := range []platform.EnvKind{platform.KindVMs, platform.KindContainers} {
+			cells = append(cells, cell{name, kind, false}, cell{name, kind, true})
 		}
-		row := Figure4Row{App: name}
-		row.KVMIso = run(platform.KindVMs, false)
-		row.KVMCont = run(platform.KindVMs, true)
-		row.DockerIso = run(platform.KindContainers, false)
-		row.DockerCont = run(platform.KindContainers, true)
+	}
+	runtimes, _ := runner.Map(len(cells), sc.Parallel, func(i int) float64 {
+		cl := cells[i]
+		r := cluster.Run(cluster.Config{
+			App: tailbench.AppByName(cl.app), Kind: cl.kind, Contended: cl.cont,
+			NoiseCorpus: noise, Nodes: sc.Nodes, Iterations: sc.ClusterIterations,
+			RequestsPerIter: sc.RequestsPerIter, Seed: sc.Seed, Workers: 1,
+		})
+		return r.Runtime.Millis()
+	})
+	var out Figure4Result
+	for ai, name := range apps {
+		base := ai * 4 // cells are app-major: kvm-iso, kvm-cont, docker-iso, docker-cont
+		row := Figure4Row{App: name,
+			KVMIso: runtimes[base], KVMCont: runtimes[base+1],
+			DockerIso: runtimes[base+2], DockerCont: runtimes[base+3],
+		}
 		if row.KVMIso > 0 {
 			row.KVMLoss = 100 * (row.KVMCont - row.KVMIso) / row.KVMIso
 		}

@@ -13,6 +13,7 @@ import (
 	"ksa/internal/platform"
 	"ksa/internal/report"
 	"ksa/internal/rng"
+	"ksa/internal/runner"
 	"ksa/internal/sim"
 	"ksa/internal/stats"
 	"ksa/internal/syscalls"
@@ -26,6 +27,13 @@ import (
 // the shapes stable. QuickScale is for tests and smoke runs.
 type Scale struct {
 	Seed uint64
+
+	// Parallel bounds the worker threads the experiment runners fan
+	// independent simulations across (0 = GOMAXPROCS). Every simulation
+	// derives its randomness from the Seed and its own identity, never from
+	// a shared stream, so any worker count produces bit-identical results —
+	// Parallel only changes wall-clock time.
+	Parallel int
 
 	// Corpus generation.
 	CorpusPrograms int
@@ -132,11 +140,13 @@ func RunTable2(sc Scale) Table2Result {
 			return platform.Containers(e, platform.PaperMachine, 64, rng.New(sc.Seed))
 		},
 	}
-	for _, mk := range envs {
-		eng := sim.NewEngine()
-		env := mk(eng)
-		r := varbench.Run(env, c, sc.vbOptions())
-		res.Envs = append(res.Envs, env.Name)
+	// The three environments are independent simulations; fan them out and
+	// merge in environment order.
+	runs, _ := runner.Map(len(envs), sc.Parallel, func(i int) *varbench.Result {
+		return varbench.Run(envs[i](sim.NewEngine()), c, sc.vbOptions())
+	})
+	for _, r := range runs {
+		res.Envs = append(res.Envs, r.Env)
 		res.Median = append(res.Median, r.MedianBreakdown())
 		res.P99 = append(res.P99, r.P99Breakdown())
 		res.Max = append(res.Max, r.MaxBreakdown())
@@ -178,18 +188,22 @@ func RunFigure2(sc Scale) Figure2Result {
 	c, _ := sc.GenerateCorpus()
 	opts := sc.vbOptions()
 
-	natEnv := platform.Native(sim.NewEngine(), platform.PaperMachine, rng.New(sc.Seed))
-	nat := varbench.Run(natEnv, c, opts)
+	// The native run (which supplies the paper's >= 10µs site filter) and
+	// the seven VM-count runs are all independent; only the filtering below
+	// needs the native result, so all eight runs fan out together.
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	runs, _ := runner.Map(1+len(counts), sc.Parallel, func(i int) *varbench.Result {
+		eng := sim.NewEngine()
+		if i == 0 {
+			return varbench.Run(platform.Native(eng, platform.PaperMachine, rng.New(sc.Seed)), c, opts)
+		}
+		env := platform.VMs(eng, platform.PaperMachine, counts[i-1], rng.New(sc.Seed))
+		return varbench.Run(env, c, opts)
+	})
+	nat, results := runs[0], runs[1:]
 	include := func(s varbench.Site) bool {
 		smp := nat.SiteSample(s)
 		return smp != nil && smp.Len() > 0 && smp.Median() >= 10
-	}
-
-	counts := []int{1, 2, 4, 8, 16, 32, 64}
-	results := make([]*varbench.Result, len(counts))
-	for i, n := range counts {
-		env := platform.VMs(sim.NewEngine(), platform.PaperMachine, n, rng.New(sc.Seed))
-		results[i] = varbench.Run(env, c, opts)
 	}
 
 	out := Figure2Result{VMCounts: counts}
@@ -239,12 +253,14 @@ func RunTable3(sc Scale) Table3Result {
 	c, _ := sc.GenerateCorpus()
 	res := Table3Result{}
 	for n := 1; n <= 64; n *= 2 {
-		eng := sim.NewEngine()
-		env := platform.Containers(eng, platform.PaperMachine, n, rng.New(sc.Seed))
-		r := varbench.Run(env, c, sc.vbOptions())
 		res.Counts = append(res.Counts, n)
-		res.Max = append(res.Max, r.MaxBreakdown())
 	}
+	maxes, _ := runner.Map(len(res.Counts), sc.Parallel, func(i int) stats.Breakdown {
+		eng := sim.NewEngine()
+		env := platform.Containers(eng, platform.PaperMachine, res.Counts[i], rng.New(sc.Seed))
+		return varbench.Run(env, c, sc.vbOptions()).MaxBreakdown()
+	})
+	res.Max = maxes
 	return res
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ksa/internal/platform"
 	"ksa/internal/report"
+	"ksa/internal/runner"
 	"ksa/internal/tailbench"
 )
 
@@ -38,22 +39,24 @@ func RunLightVMExtension(sc Scale) LightVMResult {
 		Util: 0.75, Warmup: sc.ServerWarmup, Measure: sc.ServerMeasure, Seed: sc.Seed,
 	}
 	apps := []string{"xapian", "masstree", "moses", "silo", "shore"}
+	// 5 apps × 3 substrates × {iso, cont} = 30 independent single-node
+	// simulations, fanned out and merged in grid order.
+	kinds := []platform.EnvKind{platform.KindContainers, platform.KindVMs, platform.KindLightVMs}
+	p99s, _ := runner.Map(len(apps)*len(kinds)*2, sc.Parallel, func(i int) float64 {
+		app, rest := apps[i/(len(kinds)*2)], i%(len(kinds)*2)
+		return tailbench.RunSingleNode(tailbench.SingleNodeConfig{
+			Kind: kinds[rest/2], App: tailbench.AppByName(app), Contended: rest%2 == 1,
+			NoiseCorpus: noise, Server: srv, Seed: sc.Seed,
+		}).P99
+	})
 	var out LightVMResult
-	for _, name := range apps {
-		app := tailbench.AppByName(name)
-		run := func(kind platform.EnvKind, cont bool) float64 {
-			return tailbench.RunSingleNode(tailbench.SingleNodeConfig{
-				Kind: kind, App: app, Contended: cont,
-				NoiseCorpus: noise, Server: srv, Seed: sc.Seed,
-			}).P99
+	for ai, name := range apps {
+		base := ai * len(kinds) * 2
+		row := LightVMRow{App: name,
+			DockerIso: p99s[base], DockerCont: p99s[base+1],
+			KVMIso: p99s[base+2], KVMCont: p99s[base+3],
+			LightIso: p99s[base+4], LightCont: p99s[base+5],
 		}
-		row := LightVMRow{App: name}
-		row.DockerIso = run(platform.KindContainers, false)
-		row.DockerCont = run(platform.KindContainers, true)
-		row.KVMIso = run(platform.KindVMs, false)
-		row.KVMCont = run(platform.KindVMs, true)
-		row.LightIso = run(platform.KindLightVMs, false)
-		row.LightCont = run(platform.KindLightVMs, true)
 		pct := func(iso, cont float64) float64 {
 			if iso <= 0 {
 				return 0

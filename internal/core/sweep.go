@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"ksa/internal/corpus"
+	"ksa/internal/platform"
+	"ksa/internal/rng"
+	"ksa/internal/runner"
+	"ksa/internal/sim"
+	"ksa/internal/trace"
+	"ksa/internal/varbench"
+)
+
+// EnvSpec names one environment of a sweep: an isolation substrate and its
+// unit count (VMs/containers partitioning the machine; ignored for
+// native).
+type EnvSpec struct {
+	Kind  platform.EnvKind
+	Units int
+}
+
+// String renders the spec as the stable job-key component, e.g. "native",
+// "kvm-8", "docker-64".
+func (e EnvSpec) String() string {
+	if e.Kind == platform.KindNative {
+		return e.Kind.String()
+	}
+	return fmt.Sprintf("%s-%d", e.Kind, e.Units)
+}
+
+// Build constructs the environment on eng, drawing all of its construction
+// randomness from seed.
+func (e EnvSpec) Build(eng *sim.Engine, m platform.Machine, seed uint64) *platform.Environment {
+	src := rng.New(seed)
+	switch e.Kind {
+	case platform.KindVMs:
+		return platform.VMs(eng, m, e.Units, src)
+	case platform.KindLightVMs:
+		return platform.LightVMs(eng, m, e.Units, src)
+	case platform.KindContainers:
+		return platform.Containers(eng, m, e.Units, src)
+	default:
+		return platform.Native(eng, m, src)
+	}
+}
+
+// SweepOptions configures RunSweep: a dense environment × corpus × trial
+// grid of independent varbench runs.
+type SweepOptions struct {
+	// Scale supplies the corpus (unless Corpus overrides it), the harness
+	// iteration counts, the root seed, and the Parallel worker bound.
+	Scale Scale
+	// Machine is the host each environment partitions (default: the
+	// paper's 64-core/32GB box).
+	Machine platform.Machine
+	// Envs are the environments to sweep.
+	Envs []EnvSpec
+	// Trials is the number of independent repetitions per environment
+	// (default 1). Trial t of environment e runs with the seed derived
+	// from the job key "<env>/trial=<t>" — never from a shared stream.
+	Trials int
+	// Trace attaches a tracer to every kernel of every run, so each
+	// SweepRun carries blame records.
+	Trace bool
+	// Corpus, when non-nil, replaces the Scale-generated corpus (e.g. a
+	// corpus file loaded by cmd/varbench).
+	Corpus *corpus.Corpus
+}
+
+// SweepRun is one (environment, trial) cell of a sweep.
+type SweepRun struct {
+	Env   EnvSpec
+	Trial int
+	// Seed is the job's derived private seed.
+	Seed uint64
+	Res  *varbench.Result
+}
+
+// Key returns the cell's job key.
+func (r SweepRun) Key() string { return runner.SweepKey(r.Env.String(), r.Trial) }
+
+// SweepResult holds a sweep's runs in job-key order (environment-major,
+// trial-minor — never completion order) plus the fan-out metrics.
+type SweepResult struct {
+	Runs []SweepRun
+	Par  runner.Metrics
+}
+
+// RunSweep executes the environment × trial grid, fanning the independent
+// simulations across Scale.Parallel workers. The output is bit-identical
+// for every worker count: job order fixes the merge order and per-key seed
+// derivation fixes each run's randomness.
+func RunSweep(o SweepOptions) SweepResult {
+	if o.Machine.Cores == 0 {
+		o.Machine = platform.PaperMachine
+	}
+	trials := o.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	c := o.Corpus
+	if c == nil {
+		c, _ = o.Scale.GenerateCorpus()
+	}
+	var jobs []runner.Job[SweepRun]
+	for _, env := range o.Envs {
+		env := env
+		for t := 0; t < trials; t++ {
+			t := t
+			jobs = append(jobs, runner.Job[SweepRun]{
+				Key: runner.SweepKey(env.String(), t),
+				Run: func(seed uint64) SweepRun {
+					eng := sim.NewEngine()
+					opts := o.Scale.vbOptions()
+					opts.Seed = seed
+					if o.Trace {
+						opts.Trace = &trace.Options{}
+					}
+					res := varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
+					return SweepRun{Env: env, Trial: t, Seed: seed, Res: res}
+				},
+			})
+		}
+	}
+	runs, m := runner.Sweep(o.Scale.Seed, o.Scale.Parallel, jobs)
+	return SweepResult{Runs: runs, Par: m}
+}

@@ -1,0 +1,53 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ksa/internal/syscalls"
+)
+
+// FuzzTextRoundTrip feeds arbitrary text to the strict corpus parser.
+// Whatever parses must round-trip: writing it and re-parsing yields the
+// same programs, and the written form is a fixed point (write ∘ parse ∘
+// write = write). Inputs the parser rejects are merely skipped — the
+// property under test is that accepted corpora survive serialization, not
+// that all text is accepted.
+func FuzzTextRoundTrip(f *testing.F) {
+	f.Add("r0 = open(path=0x5, flags=0x42)\nread(fd=r0, count=0x1000)\n")
+	f.Add("# comment\ngetpid()\n\nfsync(fd=0x3)\n")
+	f.Add("write(0x1, 0x20)\nclose(fd=0x1)\n")
+	f.Add("mmap(addr=0x0, length=0x1000)\n")
+	tab := syscalls.Default()
+	f.Fuzz(func(t *testing.T, text string) {
+		c1, err := ParseText(strings.NewReader(text), tab)
+		if err != nil {
+			t.Skip()
+		}
+		var out1 strings.Builder
+		if err := WriteText(&out1, c1, tab); err != nil {
+			t.Fatalf("WriteText on parsed corpus: %v", err)
+		}
+		c2, err := ParseText(strings.NewReader(out1.String()), tab)
+		if err != nil {
+			t.Fatalf("re-parse of written corpus failed: %v\ntext:\n%s", err, out1.String())
+		}
+		if len(c1.Programs) != len(c2.Programs) {
+			t.Fatalf("round trip changed program count: %d -> %d", len(c1.Programs), len(c2.Programs))
+		}
+		for i := range c1.Programs {
+			if !reflect.DeepEqual(c1.Programs[i], c2.Programs[i]) {
+				t.Fatalf("program %d changed across round trip:\n%v\nvs\n%v",
+					i, c1.Programs[i], c2.Programs[i])
+			}
+		}
+		var out2 strings.Builder
+		if err := WriteText(&out2, c2, tab); err != nil {
+			t.Fatalf("second WriteText: %v", err)
+		}
+		if out1.String() != out2.String() {
+			t.Fatalf("written form is not a fixed point:\n%q\nvs\n%q", out1.String(), out2.String())
+		}
+	})
+}

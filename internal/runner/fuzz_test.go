@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzDeriveSeed searches for seed collisions across the job-key grids the
+// experiment sweeps actually generate (environments × units × trials under
+// one root seed). A collision would silently give two jobs identical
+// randomness; the derivation must also be deterministic and never return
+// the repo-wide zero "unset" sentinel. Word-size stability is pinned
+// separately by TestDeriveSeedGolden.
+func FuzzDeriveSeed(f *testing.F) {
+	f.Add(uint64(42), uint(4), uint(8))
+	f.Add(uint64(0), uint(1), uint(1))
+	f.Add(uint64(1)<<63, uint(16), uint(64))
+	f.Add(^uint64(0), uint(7), uint(3))
+	f.Fuzz(func(t *testing.T, root uint64, nEnvs, nTrials uint) {
+		envs := int(nEnvs%16) + 1
+		trials := int(nTrials%64) + 1
+		kinds := []string{"native", "kvm", "docker", "lightvm"}
+		seen := make(map[uint64]string, envs*trials)
+		for e := 0; e < envs; e++ {
+			env := kinds[e%len(kinds)]
+			if env != "native" {
+				env = fmt.Sprintf("%s-%d", env, 1<<(e%7))
+			}
+			for tr := 0; tr < trials; tr++ {
+				key := SweepKey(env, tr)
+				seed := DeriveSeed(root, key)
+				if seed == 0 {
+					t.Fatalf("DeriveSeed(%#x, %q) returned the zero sentinel", root, key)
+				}
+				if seed != DeriveSeed(root, key) {
+					t.Fatalf("DeriveSeed(%#x, %q) not deterministic", root, key)
+				}
+				if prev, dup := seen[seed]; dup && prev != key {
+					t.Fatalf("seed collision under root %#x: %q and %q both derive %#x",
+						root, prev, key, seed)
+				}
+				seen[seed] = key
+			}
+		}
+	})
+}

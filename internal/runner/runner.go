@@ -1,0 +1,183 @@
+// Package runner fans independent simulation jobs across OS threads and
+// merges their results deterministically. Every sim.Engine is a
+// single-threaded virtual-time world with no shared mutable state, so a
+// sweep of N configurations (environment × corpus × seed trial) is
+// embarrassingly parallel — the only discipline required is that
+// parallelism must never leak into the results:
+//
+//   - Results are ordered by job position (the caller-built job list, i.e.
+//     job-key order), never by completion order.
+//   - Each job's randomness is derived by hashing its key into the root
+//     seed (DeriveSeed), not drawn from a shared stream, so adding workers,
+//     adding jobs, or reordering submissions cannot change any job's seed.
+//
+// Under those two rules a sweep at -parallel 8 is bit-identical to the
+// serial one; parallelism only changes wall-clock time. Metrics records
+// per-job wall time and queue wait so the speedup is observable.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a requested worker count: n when positive, otherwise
+// GOMAXPROCS (the orchestrator's default — one worker per schedulable
+// thread).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeed hashes a job key into the root experiment seed, yielding the
+// job's private seed. The derivation is position-independent (a job's seed
+// depends only on root and key) and uses explicit 64-bit arithmetic
+// (FNV-1a over the root's little-endian bytes then the key bytes, with a
+// splitmix64 finalizer), so it is stable across platforms and word sizes.
+// The result is never zero — zero is the repo-wide "unset seed" sentinel.
+func DeriveSeed(root uint64, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (root>>(8*i))&0xff) * prime64
+	}
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+// Metrics describes one fan-out's execution: how many jobs ran on how many
+// workers, the sweep's wall time, and per-job wall/queue times. All
+// durations are host time (never virtual time) — they exist to make
+// speedup observable, and feed nothing back into any simulation.
+type Metrics struct {
+	// Jobs is the number of jobs executed.
+	Jobs int
+	// Workers is the resolved worker count (after the GOMAXPROCS default
+	// and the cap at Jobs).
+	Workers int
+	// Wall is the total host time from first dispatch to last completion.
+	Wall time.Duration
+	// JobWall[i] is job i's execution time.
+	JobWall []time.Duration
+	// QueueWait[i] is how long job i sat queued before a worker picked it
+	// up, measured from the fan-out's start.
+	QueueWait []time.Duration
+}
+
+// Busy is the summed per-job execution time — the serial-equivalent cost.
+func (m Metrics) Busy() time.Duration {
+	var b time.Duration
+	for _, d := range m.JobWall {
+		b += d
+	}
+	return b
+}
+
+// Speedup is Busy/Wall: how much faster the fan-out ran than the same jobs
+// executed back to back. 1.0 means no overlap was achieved.
+func (m Metrics) Speedup() float64 {
+	if m.Wall <= 0 {
+		return 1
+	}
+	return float64(m.Busy()) / float64(m.Wall)
+}
+
+// MaxQueueWait is the longest any job waited for a worker.
+func (m Metrics) MaxQueueWait() time.Duration {
+	var w time.Duration
+	for _, d := range m.QueueWait {
+		if d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// String summarizes the fan-out for CLI output.
+func (m Metrics) String() string {
+	return fmt.Sprintf("runner[%d jobs on %d workers: wall %v, busy %v, speedup %.2fx, max queue wait %v]",
+		m.Jobs, m.Workers, m.Wall.Round(time.Millisecond), m.Busy().Round(time.Millisecond),
+		m.Speedup(), m.MaxQueueWait().Round(time.Millisecond))
+}
+
+// Run executes fn(0), …, fn(n-1) on up to workers goroutines (0 =
+// GOMAXPROCS) and returns when all have completed. fn must not share
+// mutable state across jobs; writes to distinct elements of a shared
+// results slice are the intended merge pattern. With workers <= 1 the jobs
+// run inline on the calling goroutine — the serial baseline is the same
+// code path, not a special case.
+func Run(n, workers int, fn func(job int)) Metrics {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	m := Metrics{
+		Jobs:      n,
+		Workers:   w,
+		JobWall:   make([]time.Duration, n),
+		QueueWait: make([]time.Duration, n),
+	}
+	if n == 0 {
+		return m
+	}
+	start := time.Now()
+	if w <= 1 {
+		m.Workers = 1
+		for i := 0; i < n; i++ {
+			m.QueueWait[i] = time.Since(start)
+			t0 := time.Now()
+			fn(i)
+			m.JobWall[i] = time.Since(t0)
+		}
+		m.Wall = time.Since(start)
+		return m
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				m.QueueWait[i] = time.Since(start)
+				t0 := time.Now()
+				fn(i)
+				m.JobWall[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	m.Wall = time.Since(start)
+	return m
+}
+
+// Map executes fn for each job index and returns the results in job order
+// (never completion order).
+func Map[T any](n, workers int, fn func(job int) T) ([]T, Metrics) {
+	out := make([]T, n)
+	m := Run(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, m
+}

@@ -44,11 +44,19 @@ func (b *Barrier) Epochs() uint64 { return b.epochs }
 // ReleaseLatency returns the modeled latency between the last arrival and
 // the simultaneous release of all parties.
 func (b *Barrier) ReleaseLatency() Time {
+	return ReleaseLatencyFor(b.parties, b.latPerHop)
+}
+
+// ReleaseLatencyFor is the dissemination-barrier release latency for a
+// party count and per-hop latency: latPerHop * ceil(log2(parties)).
+// Exported so orchestrators that compute barrier releases analytically
+// (e.g. the cluster harness's per-node engines) model the identical cost.
+func ReleaseLatencyFor(parties int, latPerHop Time) Time {
 	hops := 0
-	for n := 1; n < b.parties; n <<= 1 {
+	for n := 1; n < parties; n <<= 1 {
 		hops++
 	}
-	return Time(hops) * b.latPerHop
+	return Time(hops) * latPerHop
 }
 
 // Arrive registers a party; resume runs when all parties have arrived. All

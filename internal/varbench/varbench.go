@@ -22,21 +22,31 @@ import (
 	"ksa/internal/trace"
 )
 
+// ExplicitZero requests a literal zero for an Options field whose zero
+// value means "use the default": Iterations, BarrierHop, and
+// ReleaseSkewMean. Any negative value works; the named constant documents
+// intent.
+const ExplicitZero = -1
+
 // Options configures a harness run.
 type Options struct {
 	// Iterations is how many synchronized repetitions of each program run
-	// (the paper uses 100).
+	// (the paper uses 100). Zero means the default (30); a negative value
+	// (conventionally ExplicitZero) means literally zero recorded
+	// iterations — a warmup-only run.
 	Iterations int
 	// Warmup iterations are executed but not recorded (software caches and
-	// noise streams reach steady state).
+	// noise streams reach steady state). Negative is normalized to zero.
 	Warmup int
 	// BarrierHop is the per-round latency of the global barrier (MPI over
-	// the virtual network).
+	// the virtual network). Zero means the default (2µs); negative
+	// (ExplicitZero) means an idealized free barrier.
 	BarrierHop sim.Time
 	// ReleaseSkewMean is the mean per-core barrier release skew
 	// (exponential). Real barriers wake ranks microseconds apart; zero skew
 	// would make every lock see worst-case simultaneous arrival on every
-	// iteration. Default 8µs.
+	// iteration. Zero means the default (8µs); negative (ExplicitZero)
+	// means no skew — deliberate worst-case simultaneity.
 	ReleaseSkewMean sim.Time
 	// Seed perturbs the harness's own randomness (release skew).
 	Seed uint64
@@ -55,14 +65,29 @@ func DefaultOptions() Options {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Iterations == 0 {
+	// Zero selects the default; negative (ExplicitZero) selects a literal
+	// zero. This keeps the zero-value Options useful without making "I
+	// really want 0" unexpressible.
+	switch {
+	case o.Iterations == 0:
 		o.Iterations = 30
+	case o.Iterations < 0:
+		o.Iterations = 0
 	}
-	if o.BarrierHop == 0 {
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	switch {
+	case o.BarrierHop == 0:
 		o.BarrierHop = 2 * sim.Microsecond
+	case o.BarrierHop < 0:
+		o.BarrierHop = 0
 	}
-	if o.ReleaseSkewMean == 0 {
+	switch {
+	case o.ReleaseSkewMean == 0:
 		o.ReleaseSkewMean = 8 * sim.Microsecond
+	case o.ReleaseSkewMean < 0:
+		o.ReleaseSkewMean = 0
 	}
 	return o
 }

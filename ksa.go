@@ -31,6 +31,7 @@ import (
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
+	"ksa/internal/runner"
 	"ksa/internal/sim"
 	"ksa/internal/stats"
 	"ksa/internal/syscalls"
@@ -82,6 +83,17 @@ type (
 	CauseTotal = trace.CauseTotal
 	// BlameResult is a traced varbench run (RunBlame).
 	BlameResult = core.BlameResult
+	// EnvSpec names one environment of a sweep ("native", "kvm-8", ...).
+	EnvSpec = core.EnvSpec
+	// SweepOptions configures RunSweep's environment × trial grid.
+	SweepOptions = core.SweepOptions
+	// SweepResult holds a sweep's runs in job-key order plus fan-out
+	// metrics.
+	SweepResult = core.SweepResult
+	// SweepRun is one (environment, trial) cell of a sweep.
+	SweepRun = core.SweepRun
+	// RunnerMetrics reports a parallel fan-out's wall/queue accounting.
+	RunnerMetrics = runner.Metrics
 )
 
 // Environment kinds.
@@ -101,6 +113,10 @@ const (
 
 // PaperMachine is the paper's evaluation host: 64 cores / 32 GB (Table 1).
 var PaperMachine = platform.PaperMachine
+
+// ExplicitZero requests a literal zero for a VarbenchOptions field whose
+// zero value selects a default (Iterations, BarrierHop, ReleaseSkewMean).
+const ExplicitZero = varbench.ExplicitZero
 
 // NewEngine returns a fresh virtual-time engine.
 func NewEngine() *Engine { return sim.NewEngine() }
@@ -167,6 +183,17 @@ func AppByName(name string) *App { return tailbench.AppByName(name) }
 
 // RunCluster executes a Figure 4-style BSP cluster run.
 func RunCluster(cfg ClusterConfig) ClusterResult { return cluster.Run(cfg) }
+
+// RunSweep executes an environment × corpus × trial grid of independent
+// varbench runs, fanned across Scale.Parallel workers. Results are merged
+// in job-key order and every run's seed is derived from its key, so the
+// output is bit-identical for every worker count.
+func RunSweep(o SweepOptions) SweepResult { return core.RunSweep(o) }
+
+// DeriveSeed maps (root seed, job key) to the job's private nonzero seed —
+// the derivation RunSweep uses, exported so external tooling can reproduce
+// any single cell of a sweep in isolation.
+func DeriveSeed(root uint64, key string) uint64 { return runner.DeriveSeed(root, key) }
 
 // DefaultScale returns the standard experiment scale; QuickScale a smoke
 // scale.
