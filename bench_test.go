@@ -22,6 +22,11 @@ import (
 	"testing"
 
 	"ksa"
+	"ksa/internal/corpus"
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
 )
 
 func benchScale() ksa.Scale {
@@ -100,6 +105,71 @@ func BenchmarkFigure4(b *testing.B) {
 		if len(res.Rows) != 6 {
 			b.Fatal("bad result")
 		}
+	}
+}
+
+// BenchmarkEngine measures raw event dispatch through the unboxed 4-ary
+// heap: schedule-and-run batches at mixed timestamps, the access pattern
+// every simulation reduces to. Allocations here should be zero — the
+// scheduled fn is prebuilt and the slab is warmed by the first batch.
+func BenchmarkEngine(b *testing.B) {
+	e := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := sim.Time(0); j < 64; j++ {
+			e.After(j%7, fn)
+		}
+		e.Run()
+	}
+}
+
+// benchProgram is a small mixed program (fd wiring, file I/O, pure
+// compute) for the runner micro-benchmarks.
+func benchProgram(b *testing.B) *corpus.Program {
+	tab := syscalls.Default()
+	mustID := func(name string) syscalls.ID {
+		s := tab.Lookup(name)
+		if s == nil {
+			b.Fatalf("no syscall %q", name)
+		}
+		return s.ID()
+	}
+	return &corpus.Program{Calls: []corpus.Call{
+		{Syscall: mustID("open"), Args: []corpus.ArgValue{corpus.Const(5), corpus.Const(0x42)}},
+		{Syscall: mustID("read"), Args: []corpus.ArgValue{corpus.Result(0), corpus.Const(4096)}},
+		{Syscall: mustID("write"), Args: []corpus.ArgValue{corpus.Result(0), corpus.Const(512)}},
+		{Syscall: mustID("getpid")},
+		{Syscall: mustID("close"), Args: []corpus.ArgValue{corpus.Result(0)}},
+	}}
+}
+
+// BenchmarkCompiledProgram measures one compile-once/replay-many iteration
+// on a warmed runner — the per-iteration cost varbench pays at every
+// (core, program, iteration) cell.
+func BenchmarkCompiledProgram(b *testing.B) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{Name: "b", Cores: 1, MemGB: 1}, rng.New(7))
+	r := corpus.NewRunner(eng, k, 0, nil)
+	cp := corpus.Compile(benchProgram(b), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ResetProc()
+		r.RunCompiled(cp, nil, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkProgramCompile measures the compile step itself (paid once per
+// program per harness run, then amortized across cores × iterations).
+func BenchmarkProgramCompile(b *testing.B) {
+	p := benchProgram(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = corpus.Compile(p, nil)
 	}
 }
 

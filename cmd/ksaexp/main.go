@@ -71,8 +71,17 @@ func main() {
 		}
 		ran++
 		t0 := time.Now()
+		ev0 := ksa.EventsExecuted()
 		fn()
-		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		wall := time.Since(t0)
+		ev := ksa.EventsExecuted() - ev0
+		if ev > 0 && wall > 0 {
+			fmt.Printf("[%s finished in %v — %.2fM events, %.2fM events/sec]\n\n",
+				name, wall.Round(time.Millisecond),
+				float64(ev)/1e6, float64(ev)/wall.Seconds()/1e6)
+		} else {
+			fmt.Printf("[%s finished in %v]\n\n", name, wall.Round(time.Millisecond))
+		}
 	}
 
 	run("table1", func() { fmt.Println(ksa.VMConfigTable().String()) })

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"fmt"
+
+	"ksa/internal/syscalls"
+)
+
+// resultRef is one planned result-reference materialization: before call i
+// runs, argument arg receives the producing call's result reduced into the
+// argument's generation domain.
+type resultRef struct {
+	arg int    // argument index to fill
+	src int    // producing call index
+	dom uint64 // generation domain to reduce into
+}
+
+// compiledCall is one call resolved against the table: the spec pointer
+// looked up once, constants pre-reduced into a full-shape argument
+// template, and result references planned for runtime materialization.
+// tmpl and refs are subslices of the Compiled's flat slabs.
+type compiledCall struct {
+	spec *syscalls.Spec
+	tmpl []uint64
+	refs []resultRef
+}
+
+// Compiled is a program resolved against a syscall table, ready for mass
+// replay. Compilation hoists everything that is invariant across
+// iterations out of the per-call path: table lookups, the zero-fill /
+// truncate / domain-reduce normalization of raw argument lists, and the
+// constant-vs-result classification of every argument. Replay then only
+// copies a template, patches result references, and invokes the spec's
+// compiler — the compile-once / replay-many discipline the varbench and
+// syzkaller lineage gets its throughput from.
+//
+// A Compiled is immutable after Compile and safe to share across runners,
+// cores, and worker threads.
+type Compiled struct {
+	prog    *Program
+	table   *syscalls.Table
+	calls   []compiledCall
+	maxArgs int
+}
+
+// Compile resolves p against tab (nil means syscalls.Default()). It panics
+// on result references pointing outside the program — the one malformation
+// the interpreted path could not execute either.
+func Compile(p *Program, tab *syscalls.Table) *Compiled {
+	if tab == nil {
+		tab = syscalls.Default()
+	}
+	cp := &Compiled{prog: p, table: tab, calls: make([]compiledCall, len(p.Calls))}
+	// Size the flat slabs exactly so the per-call subslices below never
+	// move under an append.
+	nArgs, nRefs := 0, 0
+	for _, c := range p.Calls {
+		spec := tab.Get(c.Syscall)
+		nArgs += len(spec.Args)
+		for j := range spec.Args {
+			if j < len(c.Args) && c.Args[j].Kind == ValResult {
+				nRefs++
+			}
+		}
+	}
+	argSlab := make([]uint64, 0, nArgs)
+	refSlab := make([]resultRef, 0, nRefs)
+	for i, c := range p.Calls {
+		spec := tab.Get(c.Syscall)
+		if len(spec.Args) > cp.maxArgs {
+			cp.maxArgs = len(spec.Args)
+		}
+		argStart, refStart := len(argSlab), len(refSlab)
+		for j, as := range spec.Args {
+			dom := as.GenDomain()
+			var v uint64
+			if j < len(c.Args) {
+				a := c.Args[j]
+				if a.Kind == ValResult {
+					if int(a.X) >= len(p.Calls) {
+						panic(fmt.Sprintf("corpus: call %d arg %d references call %d of %d", i, j, a.X, len(p.Calls)))
+					}
+					refSlab = append(refSlab, resultRef{arg: j, src: int(a.X), dom: dom})
+				} else {
+					v = a.X % dom
+				}
+			}
+			// Missing arguments stay zero-filled, extras are dropped —
+			// exactly the normalization Spec.Compile applies to raw lists.
+			argSlab = append(argSlab, v)
+		}
+		cp.calls[i] = compiledCall{
+			spec: spec,
+			tmpl: argSlab[argStart:len(argSlab):len(argSlab)],
+			refs: refSlab[refStart:len(refSlab):len(refSlab)],
+		}
+	}
+	return cp
+}
+
+// Program returns the source program.
+func (cp *Compiled) Program() *Program { return cp.prog }
+
+// Table returns the table the program was compiled against.
+func (cp *Compiled) Table() *syscalls.Table { return cp.table }
+
+// Len returns the number of calls.
+func (cp *Compiled) Len() int { return len(cp.calls) }

@@ -13,6 +13,13 @@ const InterCallGap = 150 * sim.Nanosecond
 
 // Runner executes programs on one core of one kernel with a persistent
 // process context, resolving result references as calls complete.
+//
+// A runner executes one program at a time (the next Run/RunCompiled may
+// only start after the previous one's done callback has fired); in
+// exchange it reuses its argument and result arenas, its task, and its
+// continuation closures across calls and across iterations, so replaying a
+// compiled program allocates nothing per call beyond the micro-op
+// sequences the syscall compilers build.
 type Runner struct {
 	Table *syscalls.Table
 	Eng   *sim.Engine
@@ -31,6 +38,27 @@ type Runner struct {
 	// and syscall name) so an attached tracer can map blame records back
 	// to call sites. Nil leaves tasks unlabeled.
 	Label func(call int, name string) string
+
+	// Replay arenas, reused across calls and iterations.
+	results []uint64    // per-call return values of the in-flight program
+	argBuf  []uint64    // scratch for one call's materialized arguments
+	task    kernel.Task // the one in-flight kernel entry
+	cr      compiledRun // execution state + reusable continuations
+}
+
+// compiledRun is the execution state of the runner's in-flight compiled
+// program. Its continuation closures are built once per runner and reused
+// for every call of every subsequent program, replacing the recursive
+// closure chain the interpreted path allocated per call.
+type compiledRun struct {
+	r       *Runner
+	cp      *Compiled
+	perCall func(i int, lat sim.Time)
+	done    func()
+	i       int
+	ctx     syscalls.Ctx
+	onDone  func(lat sim.Time)
+	next    func()
 }
 
 // NewRunner builds a runner with a fresh process on the given core. A nil
@@ -39,65 +67,103 @@ func NewRunner(eng *sim.Engine, k *kernel.Kernel, core int, tab *syscalls.Table)
 	if tab == nil {
 		tab = syscalls.Default()
 	}
-	proc := syscalls.NewProc(eng)
-	// Each rank works on private kernel objects (its own directory, its own
-	// mappings); the salt keeps its hashes off other ranks' shards.
-	proc.Salt = uint64(core+1) * 0xbf58476d1ce4e5b9
-	return &Runner{
+	r := &Runner{
 		Table: tab,
 		Eng:   eng,
 		Kern:  k,
 		Core:  core,
-		Proc:  proc,
 		Cov:   syscalls.NopCoverage{},
 	}
+	r.ResetProc()
+	return r
+}
+
+// ResetProc installs a fresh process context — empty address space, a
+// stdio-only descriptor table, root credentials — as if the program were
+// exec'd anew, while the runner's arenas and scheduling state persist.
+// Iteration-oriented harnesses (varbench resets before every recorded
+// iteration) use it to reproduce the exact behavior of building a new
+// runner without discarding the warmed replay arenas.
+func (r *Runner) ResetProc() {
+	r.Proc = syscalls.NewProc(r.Eng)
+	// Each rank works on private kernel objects (its own directory, its own
+	// mappings); the salt keeps its hashes off other ranks' shards.
+	r.Proc.Salt = uint64(r.Core+1) * 0xbf58476d1ce4e5b9
 }
 
 // Run executes the program call-by-call. perCall, if non-nil, receives each
 // call's index and latency; done, if non-nil, runs after the last call.
 // Run returns immediately; execution proceeds in virtual time on the
 // engine.
+//
+// Run compiles the program first and replays the compiled form; callers
+// that execute the same program repeatedly should Compile once themselves
+// and use RunCompiled.
 func (r *Runner) Run(p *Program, perCall func(i int, lat sim.Time), done func()) {
+	r.RunCompiled(Compile(p, r.Table), perCall, done)
+}
+
+// RunCompiled replays a compiled program, observably identical to Run on
+// the source program (bit-identical latencies, results, coverage, and
+// labels) but with the per-call table lookups, argument normalization, and
+// control-flow closures hoisted out of the loop.
+func (r *Runner) RunCompiled(cp *Compiled, perCall func(i int, lat sim.Time), done func()) {
 	if r.PolluteCaches {
-		r.Kern.Pollute(float64(len(p.Calls)))
+		r.Kern.Pollute(float64(len(cp.calls)))
 	}
-	results := make([]uint64, len(p.Calls))
-	var exec func(i int)
-	exec = func(i int) {
-		if i >= len(p.Calls) {
-			if done != nil {
-				done()
-			}
-			return
-		}
-		call := p.Calls[i]
-		spec := r.Table.Get(call.Syscall)
-		args := make([]uint64, len(call.Args))
-		for j, a := range call.Args {
-			switch a.Kind {
-			case ValResult:
-				args[j] = results[a.X]
-			default:
-				args[j] = a.X
-			}
-		}
-		ctx := &syscalls.Ctx{Kern: r.Kern, Core: r.Core, Proc: r.Proc, Cov: r.Cov}
-		ops, ret := spec.Compile(ctx, args)
-		results[i] = ret
-		task := &kernel.Task{
-			Ops:       ops,
-			AddrSpace: r.Proc.MM,
-			OnDone: func(lat sim.Time) {
-				if perCall != nil {
-					perCall(i, lat)
-				}
-				r.Eng.After(InterCallGap, func() { exec(i + 1) })
-			},
-		}
-		if r.Label != nil {
-			task.Label = r.Label(i, spec.Name)
-		}
-		r.Kern.Submit(r.Core, task)
+	if cap(r.results) < len(cp.calls) {
+		r.results = make([]uint64, len(cp.calls))
+	} else {
+		r.results = r.results[:len(cp.calls)]
+		clear(r.results)
 	}
-	exec(0)
+	if cap(r.argBuf) < cp.maxArgs {
+		r.argBuf = make([]uint64, cp.maxArgs)
+	}
+	cr := &r.cr
+	cr.cp, cr.perCall, cr.done, cr.i = cp, perCall, done, 0
+	if cr.r == nil {
+		cr.r = r
+		cr.onDone = func(lat sim.Time) {
+			if cr.perCall != nil {
+				cr.perCall(cr.i, lat)
+			}
+			cr.r.Eng.After(InterCallGap, cr.next)
+		}
+		cr.next = func() {
+			cr.i++
+			cr.exec()
+		}
+	}
+	cr.exec()
+}
+
+// exec materializes and submits call cr.i, or finishes the program.
+func (cr *compiledRun) exec() {
+	r := cr.r
+	if cr.i >= len(cr.cp.calls) {
+		if cr.done != nil {
+			cr.done()
+		}
+		return
+	}
+	c := &cr.cp.calls[cr.i]
+	args := r.argBuf[:len(c.tmpl)]
+	copy(args, c.tmpl)
+	for _, ref := range c.refs {
+		args[ref.arg] = r.results[ref.src] % ref.dom
+	}
+	cr.ctx.Kern, cr.ctx.Core, cr.ctx.Proc, cr.ctx.Cov = r.Kern, r.Core, r.Proc, r.Cov
+	ops, ret := c.spec.CompilePrepared(&cr.ctx, args)
+	r.results[cr.i] = ret
+	t := &r.task
+	t.Ops = ops
+	t.AddrSpace = r.Proc.MM
+	t.OnDone = cr.onDone
+	if r.Label != nil {
+		t.Label = r.Label(cr.i, c.spec.Name)
+	} else {
+		t.Label = ""
+	}
+	r.Kern.Submit(r.Core, t)
 }

@@ -30,11 +30,11 @@ func (k *Kernel) step(c *core, t *Task) {
 			}
 		}
 		end := k.elapse(c, t, k.eng.Now(), d)
-		k.eng.At(end, func() { k.step(c, t) })
+		k.eng.At(end, t.cont)
 
 	case OpLock:
 		t.lockStack = append(t.lockStack, op.Lock)
-		l := k.locks[op.Lock]
+		l := &k.locks[op.Lock]
 		reqAt := k.eng.Now()
 		var waiters int
 		if k.tracer != nil {
@@ -106,7 +106,7 @@ func (k *Kernel) step(c *core, t *Task) {
 		if tr := k.tracer; tr != nil {
 			tr.Sleep(t.blame, k.eng.Now(), c.id, wake-k.eng.Now())
 		}
-		k.eng.At(wake, func() { k.step(c, t) })
+		k.eng.At(wake, t.cont)
 
 	default:
 		panic(fmt.Sprintf("kernel %s: unknown op kind %d", k.cfg.Name, op.Kind))
@@ -192,7 +192,7 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 			tr.IPI(t.blame, k.eng.Now(), c.id, 0, 0, cost)
 		}
 		end := k.elapse(c, t, k.eng.Now(), cost)
-		k.eng.At(end, func() { k.step(c, t) })
+		k.eng.At(end, t.cont)
 		return
 	}
 	reqAt := k.eng.Now()
@@ -224,7 +224,7 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 			k.ipiBus.Release()
 			rest := cost - busHold
 			end := k.elapse(c, t, k.eng.Now(), rest)
-			k.eng.At(end, func() { k.step(c, t) })
+			k.eng.At(end, t.cont)
 		})
 	})
 }

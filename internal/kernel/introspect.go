@@ -102,7 +102,7 @@ func (k *Kernel) Contention() ContentionReport {
 	var rep ContentionReport
 	rep.Kernel = k.cfg.Name
 	for id, name := range lockNames {
-		l := k.locks[id]
+		l := &k.locks[id]
 		rep.Locks = append(rep.Locks, LockStats{
 			Name: name, Acquires: l.Acquires(), Contended: l.Contended(),
 			MaxQueue: l.MaxQueue(), TotalWait: l.TotalWait(),
@@ -112,7 +112,7 @@ func (k *Kernel) Contention() ContentionReport {
 		var agg LockStats
 		agg.Name = fam.name
 		for i := 0; i < fam.count; i++ {
-			l := k.locks[fam.base+LockID(i)]
+			l := &k.locks[fam.base+LockID(i)]
 			agg.Acquires += l.Acquires()
 			agg.Contended += l.Contended()
 			agg.TotalWait += l.TotalWait()

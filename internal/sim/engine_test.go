@@ -143,6 +143,74 @@ func TestExecutedCounter(t *testing.T) {
 	}
 }
 
+// Regression for the event queue retaining popped events: every pop must
+// zero the slot it vacates, or the popped closure (and everything it
+// captured) stays reachable through the slab's spare capacity until a
+// reallocation happens to overwrite it. The test inspects the slab's full
+// capacity directly, which is deterministic where a finalizer-based probe
+// would be GC-timing dependent.
+func TestPopReleasesEventReferences(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		payload := make([]byte, 1024)
+		e.At(Time(i%7), func() { payload[0]++ })
+	}
+	// Drain half by stepping, the rest via Run, so both paths are covered.
+	for i := 0; i < 50; i++ {
+		e.Step()
+	}
+	e.Run()
+	slab := e.events[:cap(e.events)]
+	for i, ev := range slab {
+		if ev.fn != nil {
+			t.Fatalf("slab slot %d (cap %d) still holds a popped event's closure", i, cap(slab))
+		}
+	}
+}
+
+// The heap itself must order arbitrary (at, seq) batches exactly like a
+// stable sort on (at, insertion order) — the contract bit-identity with the
+// old container/heap implementation rests on.
+func TestEventQueueOrderProperty(t *testing.T) {
+	if err := quick.Check(func(ats []uint8) bool {
+		var q eventQueue
+		for i, at := range ats {
+			q.push(event{at: Time(at), seq: uint64(i), fn: func() {}})
+		}
+		var prev event
+		for i := range ats {
+			ev := q.pop()
+			if i > 0 && ev.before(prev) {
+				return false
+			}
+			prev = ev
+		}
+		return q.empty()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After+Step must be allocation-free beyond the scheduled closure itself
+// once the slab has reached its high-water mark (the fn here is prebuilt,
+// so the measured loop allocates nothing at all).
+func TestEngineAfterStepAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Grow the slab past anything the measured loop needs.
+	for i := 0; i < 256; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // Property: for any batch of events, the engine visits them in
 // non-decreasing time order.
 func TestEngineMonotonicProperty(t *testing.T) {

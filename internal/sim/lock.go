@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Lock is an exclusive FIFO lock resource (ticket-lock semantics): waiters
 // are granted the lock in arrival order. Arrival order at the same virtual
 // time is the event-schedule order, which the engine makes deterministic.
@@ -11,6 +13,12 @@ package sim
 type Lock struct {
 	eng  *Engine
 	name string
+	// Slab-constructed locks derive their name lazily from prefix+idx on
+	// first request: kernels allocate hundreds of locks apiece and are
+	// themselves mass-constructed (one per sweep cell, one per coverage
+	// evaluation), while almost no lock's name is ever asked for.
+	prefix string
+	idx    int
 
 	held    bool
 	waiters []func()
@@ -29,8 +37,28 @@ func NewLock(eng *Engine, name string) *Lock {
 	return &Lock{eng: eng, name: name}
 }
 
-// Name returns the diagnostic name given at construction.
-func (l *Lock) Name() string { return l.name }
+// NewLockSlab returns n unheld locks backed by a single allocation, named
+// "<prefix>/lock<i>" (materialized lazily). Use it when constructing lock
+// families in bulk; the locks must be addressed in place (&slab[i]) — the
+// slab must not be copied or grown.
+func NewLockSlab(eng *Engine, prefix string, n int) []Lock {
+	locks := make([]Lock, n)
+	for i := range locks {
+		locks[i].eng = eng
+		locks[i].prefix = prefix
+		locks[i].idx = i
+	}
+	return locks
+}
+
+// Name returns the diagnostic name given at construction, deriving it on
+// first use for slab-constructed locks.
+func (l *Lock) Name() string {
+	if l.name == "" && l.prefix != "" {
+		l.name = fmt.Sprintf("%s/lock%d", l.prefix, l.idx)
+	}
+	return l.name
+}
 
 // Held reports whether the lock is currently owned.
 func (l *Lock) Held() bool { return l.held }

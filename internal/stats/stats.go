@@ -13,6 +13,12 @@ import (
 )
 
 // Sample is a mutable collection of observations (microseconds).
+//
+// Order statistics (Quantile, Median, P99, Min, Max, Values) sort lazily
+// and cache the sorted state; Add/AddAll invalidate the cache only when
+// they actually break the order, so the per-site p50/p99/max table
+// computations sort each site at most once, and monotone merge streams
+// never re-sort at all.
 type Sample struct {
 	vals   []float64
 	sorted bool
@@ -20,19 +26,33 @@ type Sample struct {
 
 // NewSample returns an empty sample with the given capacity hint.
 func NewSample(capacity int) *Sample {
-	return &Sample{vals: make([]float64, 0, capacity)}
+	return &Sample{vals: make([]float64, 0, capacity), sorted: true}
 }
 
 // Add appends one observation.
 func (s *Sample) Add(v float64) {
+	if s.sorted && len(s.vals) > 0 && v < s.vals[len(s.vals)-1] {
+		s.sorted = false
+	}
 	s.vals = append(s.vals, v)
-	s.sorted = false
 }
 
 // AddAll appends many observations.
 func (s *Sample) AddAll(vs []float64) {
+	if s.sorted {
+		last := math.Inf(-1)
+		if len(s.vals) > 0 {
+			last = s.vals[len(s.vals)-1]
+		}
+		for _, v := range vs {
+			if v < last {
+				s.sorted = false
+				break
+			}
+			last = v
+		}
+	}
 	s.vals = append(s.vals, vs...)
-	s.sorted = false
 }
 
 // Len returns the number of observations.

@@ -128,6 +128,10 @@ func NewProc(eng *sim.Engine) *Proc {
 		nextInode: 1,
 		Brk:       1 << 20,
 		Caps:      0xffff,
+		// Room for stdio plus a typical program's handful of opens in the
+		// initial allocation: processes are mass-constructed (one per
+		// harness iteration), so append-time growth is worth avoiding.
+		fds: make([]FD, 0, 8),
 	}
 	for i := 0; i < 3; i++ {
 		p.AddFD(FDFile)

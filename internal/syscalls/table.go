@@ -99,6 +99,20 @@ func (s *Spec) Compile(ctx *Ctx, args []uint64) ([]kernel.Op, uint64) {
 	return s.compile(ctx, full)
 }
 
+// CompilePrepared invokes the spec's compiler with an argument slice the
+// caller has already materialized: exactly len(s.Args) values, each reduced
+// into its declared generation domain. It is the allocation-free fast path
+// behind corpus.Compile, which plans that materialization once per program;
+// Compile remains the forgiving entry point for raw argument lists. The
+// slice is borrowed only for the duration of the call.
+func (s *Spec) CompilePrepared(ctx *Ctx, full []uint64) ([]kernel.Op, uint64) {
+	if len(full) != len(s.Args) {
+		panic(fmt.Sprintf("syscalls: %s: prepared args len %d, want %d", s.Name, len(full), len(s.Args)))
+	}
+	ctx.callID = s.id
+	return s.compile(ctx, full)
+}
+
 // Table is the assembled syscall table.
 type Table struct {
 	specs  []*Spec

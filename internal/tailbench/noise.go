@@ -31,6 +31,19 @@ func StartNoise(env *platform.Environment, cores []platform.CoreRef, c *corpus.C
 	barrier := sim.NewBarrier(eng, len(cores), 2*sim.Microsecond)
 	barrier.Jitter = skew
 
+	// Compile each program once and keep one runner per noise core; each
+	// round resets the process context, reproducing the fresh-runner
+	// behavior without the per-round construction cost.
+	compiled := make([]*corpus.Compiled, len(c.Programs))
+	for i, p := range c.Programs {
+		compiled[i] = corpus.Compile(p, nil)
+	}
+	runners := make([]*corpus.Runner, len(cores))
+	for i, ref := range cores {
+		runners[i] = corpus.NewRunner(eng, ref.Kernel, ref.Core, nil)
+		runners[i].PolluteCaches = true
+	}
+
 	var iterate func(coreIdx, prog int)
 	iterate = func(coreIdx, prog int) {
 		if n.stopped || eng.Now() >= deadline {
@@ -44,10 +57,9 @@ func StartNoise(env *platform.Environment, cores []platform.CoreRef, c *corpus.C
 				if n.stopped || eng.Now() >= deadline {
 					return
 				}
-				ref := cores[coreIdx]
-				r := corpus.NewRunner(eng, ref.Kernel, ref.Core, nil)
-				r.PolluteCaches = true
-				r.Run(c.Programs[prog],
+				r := runners[coreIdx]
+				r.ResetProc()
+				r.RunCompiled(compiled[prog],
 					func(int, sim.Time) { n.calls++ },
 					func() { iterate(coreIdx, (prog+1)%len(c.Programs)) })
 			})

@@ -200,7 +200,15 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 			res.Tracers = append(res.Tracers, tr)
 		}
 	}
+	// Compile each program once; every core replays the compiled form on
+	// every iteration. siteBase[p] is program p's first site index, so the
+	// per-call record path below is plain arithmetic instead of a map
+	// lookup (sites are appended program-major, call-minor).
+	compiled := make([]*corpus.Compiled, len(c.Programs))
+	siteBase := make([]int, len(c.Programs))
 	for pi, p := range c.Programs {
+		compiled[pi] = corpus.Compile(p, tab)
+		siteBase[pi] = len(res.Sites)
 		for ci, call := range p.Calls {
 			s := Site{Program: pi, Call: ci}
 			res.index[s] = len(res.Sites)
@@ -227,6 +235,16 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 	}
 	total := opts.Warmup + opts.Iterations
 
+	// One persistent runner per core: the replay arenas and continuation
+	// closures warm up once and are reused by every iteration. ResetProc
+	// before each program run reproduces exactly the fresh-process state a
+	// newly built runner would have, so results stay bit-identical.
+	runners := make([]*corpus.Runner, nCores)
+	for core := 0; core < nCores; core++ {
+		ref := env.Core(core)
+		runners[core] = corpus.NewRunner(env.Eng, ref.Kernel, ref.Core, tab)
+	}
+
 	// Each core walks the same schedule: for each program, for each
 	// iteration: barrier; run program; continue. Barriers keep the cores in
 	// lockstep, so a single (program, iteration) cursor per core suffices.
@@ -240,8 +258,8 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 			return
 		}
 		barrier.Arrive(func() {
-			ref := env.Core(core)
-			r := corpus.NewRunner(env.Eng, ref.Kernel, ref.Core, tab)
+			r := runners[core]
+			r.ResetProc()
 			if opts.Trace != nil {
 				pi := prog
 				r.Label = func(call int, name string) string {
@@ -249,11 +267,11 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 				}
 			}
 			record := iter >= opts.Warmup
-			p := c.Programs[prog]
-			r.Run(p,
+			base := siteBase[prog]
+			r.RunCompiled(compiled[prog],
 				func(i int, lat sim.Time) {
 					if record {
-						res.Sites[res.index[Site{prog, i}]].Sample.Add(lat.Micros())
+						res.Sites[base+i].Sample.Add(lat.Micros())
 					}
 				},
 				func() { launch(core, prog, iter+1) })

@@ -121,6 +121,12 @@ const ExplicitZero = varbench.ExplicitZero
 // NewEngine returns a fresh virtual-time engine.
 func NewEngine() *Engine { return sim.NewEngine() }
 
+// EventsExecuted returns the process-wide count of simulation events
+// dispatched so far (flushed once per completed engine run). Sampling it
+// around an experiment turns wall-clock time into events/sec — the
+// simulator's throughput metric — without a profiler.
+func EventsExecuted() uint64 { return sim.TotalExecuted() }
+
 // GenerateCorpus runs the coverage-guided generator (the Syzkaller analog)
 // and returns the corpus plus generation statistics.
 func GenerateCorpus(opts CorpusOptions) (*Corpus, fuzz.Stats) {
