@@ -223,6 +223,26 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkVarbenchWithFaults is BenchmarkVarbenchNative with the "mixed"
+// interference plan attached — the delta against the clean benchmark is the
+// injection subsystem's total overhead, and -benchmem pins the injected
+// events' steady-state allocation cost (the per-event budget is zero; see
+// internal/fault's AllocsPerRun test).
+func BenchmarkVarbenchWithFaults(b *testing.B) {
+	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 9, TargetPrograms: 15})
+	plan, ok := ksa.FaultPreset("mixed")
+	if !ok {
+		b.Fatal("mixed preset missing")
+	}
+	opts := ksa.VarbenchOptions{Iterations: 3, Warmup: 0, Seed: 9, Faults: &plan}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := ksa.NewNativeEnvironment(ksa.NewEngine(), ksa.PaperMachine, 7)
+		_ = ksa.RunVarbench(env, c, opts)
+	}
+}
+
 // BenchmarkVarbench64VMs is the same workload on 64 partitioned kernels.
 func BenchmarkVarbench64VMs(b *testing.B) {
 	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 9, TargetPrograms: 15})

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
-//	       [-seed N] [-parallel N] [-trace]
+//	       [-seed N] [-parallel N] [-trace] [-fault name|list]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
@@ -23,13 +23,22 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame or all (lightvm/ablation/blame are extensions, not in 'all')")
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference or all (lightvm/ablation/blame/interference are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
+	faultName := flag.String("fault", "mixed", "interference plan for -exp interference: a preset name, or 'list' to print the presets and exit")
 	flag.Parse()
+
+	if *faultName == "list" {
+		for _, name := range ksa.FaultPresets() {
+			p, _ := ksa.FaultPreset(name)
+			fmt.Printf("%s: %d injector(s)\n", name, len(p.Injectors))
+		}
+		return
+	}
 
 	var sc ksa.Scale
 	switch *scaleName {
@@ -131,6 +140,21 @@ func main() {
 			res := ksa.RunBlame(sc, ksa.KindNative, 0, 0)
 			fmt.Println(res.Render())
 			writeCSV("blame", func(f *os.File) error { return res.WriteCSV(f) })
+		})
+	}
+	if want["interference"] {
+		run("interference", func() {
+			plan, ok := ksa.FaultPreset(*faultName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ksaexp: unknown -fault %q (try -fault list)\n", *faultName)
+				os.Exit(2)
+			}
+			res := ksa.RunInterference(sc, plan)
+			fmt.Println(res.Render())
+			writeCSV("interference", func(f *os.File) error {
+				_, err := f.WriteString(res.CSV())
+				return err
+			})
 		})
 	}
 

@@ -6,7 +6,7 @@
 //
 //	varbench [-corpus file] [-env native|kvm|docker] [-units N]
 //	         [-cores N] [-mem GB] [-iters N] [-warmup N] [-seed N]
-//	         [-trials N] [-parallel N] [-trace]
+//	         [-trials N] [-parallel N] [-trace] [-fault name|list]
 //
 // Without -corpus, a corpus is generated on the fly from the seed. With
 // -trace, every kernel is traced and the blame report (top-blamed shared
@@ -40,7 +40,25 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker threads for a multi-trial sweep (0 = GOMAXPROCS)")
 	contention := flag.Bool("contention", false, "print per-kernel lock contention reports")
 	traceOn := flag.Bool("trace", false, "trace every kernel and print the blame report")
+	faultName := flag.String("fault", "", "dose the run with an interference plan: a preset name, or 'list' to print the presets and exit")
 	flag.Parse()
+
+	if *faultName == "list" {
+		for _, name := range ksa.FaultPresets() {
+			p, _ := ksa.FaultPreset(name)
+			fmt.Printf("%s: %d injector(s)\n", name, len(p.Injectors))
+		}
+		return
+	}
+	var faults *ksa.FaultPlan
+	if *faultName != "" {
+		p, ok := ksa.FaultPreset(*faultName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "varbench: unknown -fault %q (try -fault list)\n", *faultName)
+			os.Exit(2)
+		}
+		faults = &p
+	}
 
 	if *seed == 0 {
 		fmt.Fprintln(os.Stderr, "varbench: -seed 0 is reserved as the 'unset' sentinel across the ksa tools; pass a nonzero seed")
@@ -89,7 +107,7 @@ func main() {
 	}
 
 	if *trials > 1 {
-		runSweep(kind, m, c, itersOpt, *warmup, *seed, *trials, *parallel, *traceOn)
+		runSweep(kind, m, c, itersOpt, *warmup, *seed, *trials, *parallel, *traceOn, faults)
 		return
 	}
 
@@ -104,7 +122,7 @@ func main() {
 		env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
 	}
 
-	opts := ksa.VarbenchOptions{Iterations: itersOpt, Warmup: *warmup, Seed: *seed}
+	opts := ksa.VarbenchOptions{Iterations: itersOpt, Warmup: *warmup, Seed: *seed, Faults: faults}
 	if *traceOn {
 		opts.Trace = &ksa.TraceOptions{}
 	}
@@ -150,7 +168,7 @@ func printBreakdowns(res *ksa.VarbenchResult) {
 }
 
 func runSweep(kind ksa.EnvKind, m ksa.Machine, c *ksa.Corpus,
-	iters, warmup int, seed uint64, trials, parallel int, traceOn bool) {
+	iters, warmup int, seed uint64, trials, parallel int, traceOn bool, faults *ksa.FaultPlan) {
 	sc := ksa.QuickScale()
 	sc.Seed = seed
 	sc.Iterations = iters
@@ -162,7 +180,7 @@ func runSweep(kind ksa.EnvKind, m ksa.Machine, c *ksa.Corpus,
 	}
 	res := ksa.RunSweep(ksa.SweepOptions{
 		Scale: sc, Machine: m, Envs: []ksa.EnvSpec{env},
-		Trials: trials, Trace: traceOn, Corpus: c,
+		Trials: trials, Trace: traceOn, Corpus: c, Faults: faults,
 	})
 	for _, run := range res.Runs {
 		fmt.Printf("%s (seed %#x): %d call sites, %d cores, %d iterations\n",

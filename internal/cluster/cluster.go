@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ksa/internal/corpus"
+	"ksa/internal/fault"
 	"ksa/internal/kernel"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
@@ -56,6 +57,10 @@ type Config struct {
 	Partitions int
 	// NoiseIterGap throttles the co-runner (default 500µs).
 	NoiseIterGap sim.Time
+	// Faults, when non-nil, doses every node with the interference plan
+	// for the whole run; each node's injection randomness derives from its
+	// own split of Seed, so fleet maxima behave like independent nodes.
+	Faults *fault.Plan
 	// BarrierHop is the inter-node network barrier per-round latency
 	// (default 15µs, a cluster interconnect).
 	BarrierHop sim.Time
@@ -258,6 +263,11 @@ func newNode(cfg Config, i int, src *rng.Source, per int) *node {
 			cfg.NoiseIterGap, func() sim.Time {
 				return sim.Time(skew.Exp(float64(6 * sim.Microsecond)))
 			})
+	}
+	if cfg.Faults != nil {
+		// Nodes advance by Step until each iteration completes (the engine
+		// is never drained), so a Forever-deadline runtime is safe here.
+		fault.Attach(eng, src.Split(9), *cfg.Faults, env.Kernels...)
 	}
 	return n
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ksa/internal/fault"
+	"ksa/internal/platform"
+	"ksa/internal/report"
+	"ksa/internal/runner"
+	"ksa/internal/sim"
+	"ksa/internal/stats"
+	"ksa/internal/varbench"
+)
+
+// InterferenceRow is one environment's tail response to a fixed noise plan:
+// pooled call latencies (µs) without and with injection, and the
+// amplification ratios faulted/baseline per metric.
+type InterferenceRow struct {
+	Env      EnvSpec
+	BaseP50  float64
+	BaseP99  float64
+	BaseMax  float64
+	FaultP50 float64
+	FaultP99 float64
+	FaultMax float64
+	AmpP50   float64
+	AmpP99   float64
+	AmpMax   float64
+}
+
+// InterferenceResult is the interference ablation: the same noise plan
+// dosed across surface-area partitions.
+type InterferenceResult struct {
+	Plan string
+	Rows []InterferenceRow
+	Par  runner.Metrics
+}
+
+// interferenceEnvs is the sweep grid: every Table 1 KVM partition count
+// (the surface-area story) plus containers at both extremes (the
+// "containers do not help the worst case" contrast).
+func interferenceEnvs() []EnvSpec {
+	var envs []EnvSpec
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		envs = append(envs, EnvSpec{Kind: platform.KindVMs, Units: n})
+	}
+	for _, n := range []int{1, 8, 64} {
+		envs = append(envs, EnvSpec{Kind: platform.KindContainers, Units: n})
+	}
+	return envs
+}
+
+// pooledLatencies pools every call site's recorded latencies into one
+// sample (µs).
+func pooledLatencies(r *varbench.Result) *stats.Sample {
+	n := 0
+	for _, sr := range r.Sites {
+		n += sr.Sample.Len()
+	}
+	pool := stats.NewSample(n)
+	for _, sr := range r.Sites {
+		pool.AddAll(sr.Sample.Values())
+	}
+	return pool
+}
+
+// RunInterference doses one noise plan across the surface-area grid. Each
+// cell runs the corpus twice on identically seeded environments — once
+// clean, once with the plan attached — so the amplification ratios are
+// causally controlled: the only difference between the paired runs is the
+// injected interference. Cells fan out across Scale.Parallel workers with
+// per-key derived seeds; results are bit-identical at any worker count.
+func RunInterference(sc Scale, plan fault.Plan) InterferenceResult {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	c, _ := sc.GenerateCorpus()
+	envs := interferenceEnvs()
+	machine := platform.PaperMachine
+
+	var jobs []runner.Job[InterferenceRow]
+	for _, env := range envs {
+		env := env
+		jobs = append(jobs, runner.Job[InterferenceRow]{
+			Key: fmt.Sprintf("interference/%s/fault=%s", env, plan.Sig()),
+			Run: func(seed uint64) InterferenceRow {
+				run := func(p *fault.Plan) *varbench.Result {
+					eng := sim.NewEngine()
+					opts := sc.vbOptions()
+					opts.Seed = seed
+					opts.Faults = p
+					return varbench.Run(env.Build(eng, machine, seed), c, opts)
+				}
+				base := pooledLatencies(run(nil))
+				faulted := run(&plan)
+				pool := pooledLatencies(faulted)
+				row := InterferenceRow{
+					Env:      env,
+					BaseP50:  base.Median(),
+					BaseP99:  base.P99(),
+					BaseMax:  base.Max(),
+					FaultP50: pool.Median(),
+					FaultP99: pool.P99(),
+					FaultMax: pool.Max(),
+				}
+				if row.BaseP50 > 0 {
+					row.AmpP50 = row.FaultP50 / row.BaseP50
+				}
+				if row.BaseP99 > 0 {
+					row.AmpP99 = row.FaultP99 / row.BaseP99
+				}
+				if row.BaseMax > 0 {
+					row.AmpMax = row.FaultMax / row.BaseMax
+				}
+				return row
+			},
+		})
+	}
+	rows, m := runner.Sweep(sc.Seed, sc.Parallel, jobs)
+	return InterferenceResult{Plan: plan.Name, Rows: rows, Par: m}
+}
+
+// Render formats the ablation table.
+func (r InterferenceResult) Render() string {
+	t := &report.Table{
+		Title: fmt.Sprintf("Interference ablation: plan %q dosed across surface-area partitions\n"+
+			"(pooled call latency µs; amp = faulted/baseline, same seed)", r.Plan),
+		Headers: []string{"environment", "base p50", "base p99", "base max",
+			"fault p50", "fault p99", "fault max", "amp p50", "amp p99", "amp max"},
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	a := func(v float64) string { return fmt.Sprintf("%.2fx", v) }
+	for _, row := range r.Rows {
+		t.AddRow(row.Env.String(),
+			f(row.BaseP50), f(row.BaseP99), f(row.BaseMax),
+			f(row.FaultP50), f(row.FaultP99), f(row.FaultMax),
+			a(row.AmpP50), a(row.AmpP99), a(row.AmpMax))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// CSV renders the result as machine-readable rows.
+func (r InterferenceResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("plan,env,base_p50_us,base_p99_us,base_max_us,fault_p50_us,fault_p99_us,fault_max_us,amp_p50,amp_p99,amp_max\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.4f\n",
+			r.Plan, row.Env,
+			row.BaseP50, row.BaseP99, row.BaseMax,
+			row.FaultP50, row.FaultP99, row.FaultMax,
+			row.AmpP50, row.AmpP99, row.AmpMax)
+	}
+	return sb.String()
+}

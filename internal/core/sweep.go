@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ksa/internal/corpus"
+	"ksa/internal/fault"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
 	"ksa/internal/runner"
@@ -66,19 +67,33 @@ type SweepOptions struct {
 	// Corpus, when non-nil, replaces the Scale-generated corpus (e.g. a
 	// corpus file loaded by cmd/varbench).
 	Corpus *corpus.Corpus
+	// Faults, when non-nil, doses every run with the interference plan.
+	// The plan's signature becomes part of each job key, so faulted and
+	// fault-free sweeps of the same grid derive distinct seeds and can
+	// coexist in one process without key collisions.
+	Faults *fault.Plan
 }
 
 // SweepRun is one (environment, trial) cell of a sweep.
 type SweepRun struct {
 	Env   EnvSpec
 	Trial int
+	// FaultSig is the interference plan's signature when the sweep ran
+	// under SweepOptions.Faults; empty otherwise.
+	FaultSig string
 	// Seed is the job's derived private seed.
 	Seed uint64
 	Res  *varbench.Result
 }
 
 // Key returns the cell's job key.
-func (r SweepRun) Key() string { return runner.SweepKey(r.Env.String(), r.Trial) }
+func (r SweepRun) Key() string {
+	env := r.Env.String()
+	if r.FaultSig != "" {
+		env += "/fault=" + r.FaultSig
+	}
+	return runner.SweepKey(env, r.Trial)
+}
 
 // SweepResult holds a sweep's runs in job-key order (environment-major,
 // trial-minor — never completion order) plus the fan-out metrics.
@@ -106,10 +121,16 @@ func RunSweep(o SweepOptions) SweepResult {
 	var jobs []runner.Job[SweepRun]
 	for _, env := range o.Envs {
 		env := env
+		envKey := env.String()
+		faultSig := ""
+		if o.Faults != nil {
+			faultSig = o.Faults.Sig()
+			envKey += "/fault=" + faultSig
+		}
 		for t := 0; t < trials; t++ {
 			t := t
 			jobs = append(jobs, runner.Job[SweepRun]{
-				Key: runner.SweepKey(env.String(), t),
+				Key: runner.SweepKey(envKey, t),
 				Run: func(seed uint64) SweepRun {
 					eng := sim.NewEngine()
 					opts := o.Scale.vbOptions()
@@ -117,8 +138,9 @@ func RunSweep(o SweepOptions) SweepResult {
 					if o.Trace {
 						opts.Trace = &trace.Options{}
 					}
+					opts.Faults = o.Faults
 					res := varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
-					return SweepRun{Env: env, Trial: t, Seed: seed, Res: res}
+					return SweepRun{Env: env, Trial: t, FaultSig: faultSig, Seed: seed, Res: res}
 				},
 			})
 		}

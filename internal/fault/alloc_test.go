@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"testing"
+
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+)
+
+// TestInjectionSteadyStateAllocs pins the zero-allocation budget for the
+// steady injection path: once attached and warmed up, every injected firing
+// (sample, acquire, timed release, reschedule) reuses prebuilt closures and
+// the engine's event slab, so driving the event chain allocates nothing.
+func TestInjectionSteadyStateAllocs(t *testing.T) {
+	plan, _ := Preset("mixed")
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{
+		Name: "alloc", Cores: 4, MemGB: 1,
+		Params: kernel.Params{Quiet: true},
+	}, rng.New(1))
+	Attach(eng, rng.New(7), plan, k) // Forever deadline: the chain never runs dry
+
+	// Warm up: grow the event slab and rng state to steady state.
+	for i := 0; i < 5000; i++ {
+		if !eng.Step() {
+			t.Fatal("injector chain ran dry during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if !eng.Step() {
+			t.Fatal("injector chain ran dry")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state injection allocates %.3f allocs/event, want 0", avg)
+	}
+}

@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanRoundTrip checks the codec's canonicalization property: any input
+// Decode accepts must re-encode to a canonical form that decodes to the same
+// plan and re-encodes byte-identically (Encode ∘ Decode is idempotent).
+func FuzzPlanRoundTrip(f *testing.F) {
+	for _, n := range Presets() {
+		p, _ := Preset(n)
+		f.Add(p.Encode())
+	}
+	f.Add("plan name=x scope=vm1\ninj kind=jitter class=all gap=1000 min=10 max=20 alpha=1.5\n")
+	f.Add("plan name=a scope=\n\n  inj   kind=ipi-storm  class=ipc gap=7 min=1 max=1 alpha=64\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Decode(s)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		canon := p.Encode()
+		q, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("canonical decode differs:\n%+v\n%+v", p, q)
+		}
+		if q.Encode() != canon {
+			t.Fatalf("re-encode not byte-identical:\n%q\n%q", q.Encode(), canon)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"ksa/internal/kernel"
+	"ksa/internal/sim"
+)
+
+func TestPresetsValidAndSorted(t *testing.T) {
+	names := Presets()
+	if len(names) < 4 {
+		t.Fatalf("only %d presets", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Presets() not sorted: %v", names)
+	}
+	for _, n := range names {
+		p, ok := Preset(n)
+		if !ok {
+			t.Fatalf("Preset(%q) missing", n)
+		}
+		if p.Name != n {
+			t.Fatalf("preset %q has Name %q", n, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", n, err)
+		}
+	}
+	if _, ok := Preset("no-such-plan"); ok {
+		t.Fatal("Preset returned a plan for an unknown name")
+	}
+}
+
+func TestPresetReturnsCopy(t *testing.T) {
+	a, _ := Preset("memstorm")
+	a.Injectors[0].Gap = 1
+	b, _ := Preset("memstorm")
+	if b.Injectors[0].Gap == 1 {
+		t.Fatal("mutating a Preset result leaked into the registry")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range Presets() {
+		p, _ := Preset(n)
+		enc := p.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%s)): %v\n%s", n, err, enc)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip of %s: got %+v want %+v", n, got, p)
+		}
+		if got.Encode() != enc {
+			t.Fatalf("re-encode of %s not byte-identical", n)
+		}
+	}
+}
+
+func TestDecodeScopeAndFractionalAlpha(t *testing.T) {
+	p := Plan{Name: "x", Scope: "vm3", Injectors: []Injector{{
+		Kind: DaemonStorm, Class: ClassFS,
+		Gap: 123456 * sim.Nanosecond, MinDur: 7, MaxDur: 8, Alpha: 1.2345678901234,
+	}}}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                         // no plan directive
+		"inj kind=jitter",          // inj before plan
+		"plan name=a\nplan name=b", // duplicate plan + no injectors
+		"plan name=a",              // no injectors
+		"plan name=a\nwat",         // unknown directive
+		"plan name=a\ninj kind=nope gap=1 min=1 max=2 alpha=1",              // bad kind
+		"plan name=a\ninj kind=jitter class=nope gap=1 min=1 max=2 alpha=1", // bad class
+		"plan name=a\ninj kind=jitter gap=0 min=1 max=2 alpha=1",            // zero gap
+		"plan name=a\ninj kind=jitter gap=1 min=5 max=2 alpha=1",            // min > max
+		"plan name=a\ninj kind=jitter gap=1 min=1 max=2 alpha=0",            // bad alpha
+		"plan name=a\ninj kind=jitter gap=x min=1 max=2 alpha=1",            // bad int
+		"plan name=a\ninj kind jitter",                                      // not key=value
+		"plan nick=a",                                                       // unknown plan key
+		"plan name=a\ninj kind=jitter gap=1 min=1 max=2 alpha=1 bogus=3",    // unknown inj key
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestValidateRejectsWhitespaceNames(t *testing.T) {
+	p, _ := Preset("memstorm")
+	p.Name = "has space"
+	if err := p.Validate(); err == nil {
+		t.Fatal("whitespace name accepted")
+	}
+	p, _ = Preset("memstorm")
+	p.Scope = "a=b"
+	if err := p.Validate(); err == nil {
+		t.Fatal("scope with '=' accepted")
+	}
+}
+
+func TestSigDistinguishesContent(t *testing.T) {
+	a, _ := Preset("memstorm")
+	b, _ := Preset("memstorm")
+	b.Injectors[0].Gap += sim.Microsecond
+	if a.Sig() == b.Sig() {
+		t.Fatal("different plans share a signature")
+	}
+	if !strings.HasPrefix(a.Sig(), "memstorm-") {
+		t.Fatalf("Sig %q does not lead with the plan name", a.Sig())
+	}
+	c, _ := Preset("memstorm")
+	if a.Sig() != c.Sig() {
+		t.Fatal("identical plans got different signatures")
+	}
+}
+
+func TestClassLocks(t *testing.T) {
+	if len(ClassAll.Locks()) != len(ClassMem.Locks())+len(ClassFS.Locks())+len(ClassProc.Locks())+len(ClassIPC.Locks()) {
+		t.Fatal("ClassAll is not the union of the other classes")
+	}
+	seen := map[kernel.LockID]bool{}
+	for _, id := range ClassAll.Locks() {
+		if seen[id] {
+			t.Fatalf("ClassAll repeats lock %d", id)
+		}
+		seen[id] = true
+	}
+	for c := ClassMem; c < numClasses; c++ {
+		if len(c.Locks()) == 0 {
+			t.Fatalf("class %v targets no locks", c)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"sort"
+
+	"ksa/internal/sim"
+)
+
+// presets maps ready-made plans onto the kernel noise sources they mimic.
+// Rates and magnitudes are chosen to be disruptive but not saturating at
+// the default scale: injected holds land in the same 50µs–5ms band as the
+// paper's observed interference episodes.
+var presets = map[string]Plan{
+	// memstorm mimics kswapd/compaction pressure: frequent short holds of
+	// the page-allocator and LRU locks, with a heavy tail reaching into the
+	// milliseconds (direct-reclaim stalls).
+	"memstorm": {
+		Name: "memstorm",
+		Injectors: []Injector{
+			{Kind: LockHold, Class: ClassMem, Gap: 400 * sim.Microsecond,
+				MinDur: 30 * sim.Microsecond, MaxDur: 3 * sim.Millisecond, Alpha: 1.2},
+		},
+	},
+	// fsflush mimics periodic writeback flusher sweeps: every few
+	// milliseconds a daemon pass holds journal, dcache, and mount in order.
+	"fsflush": {
+		Name: "fsflush",
+		Injectors: []Injector{
+			{Kind: DaemonStorm, Class: ClassFS, Gap: 2 * sim.Millisecond,
+				MinDur: 20 * sim.Microsecond, MaxDur: 1500 * sim.Microsecond, Alpha: 1.4},
+		},
+	},
+	// tickstorm mimics an overloaded timer/softirq path: extra
+	// interrupt-jitter bursts dosed onto every core's on-CPU slices.
+	"tickstorm": {
+		Name: "tickstorm",
+		Injectors: []Injector{
+			{Kind: Jitter, Class: ClassMem, Gap: 250 * sim.Microsecond,
+				MinDur: 2 * sim.Microsecond, MaxDur: 120 * sim.Microsecond, Alpha: 1.6},
+		},
+	},
+	// tlbstorm mimics a neighbor remapping memory constantly: periodic
+	// TLB-shootdown broadcasts charging every core handler time.
+	"tlbstorm": {
+		Name: "tlbstorm",
+		Injectors: []Injector{
+			{Kind: IPIStorm, Class: ClassMem, Gap: 800 * sim.Microsecond,
+				MinDur: 3 * sim.Microsecond, MaxDur: 60 * sim.Microsecond, Alpha: 1.8},
+		},
+	},
+	// mixed combines a memory storm, an fs flusher, and a TLB storm at
+	// reduced individual rates — the "noisy neighbor doing everything at
+	// once" scenario used by the interference ablation.
+	"mixed": {
+		Name: "mixed",
+		Injectors: []Injector{
+			{Kind: LockHold, Class: ClassMem, Gap: 800 * sim.Microsecond,
+				MinDur: 30 * sim.Microsecond, MaxDur: 3 * sim.Millisecond, Alpha: 1.2},
+			{Kind: DaemonStorm, Class: ClassFS, Gap: 4 * sim.Millisecond,
+				MinDur: 20 * sim.Microsecond, MaxDur: 1500 * sim.Microsecond, Alpha: 1.4},
+			{Kind: IPIStorm, Class: ClassMem, Gap: 1500 * sim.Microsecond,
+				MinDur: 3 * sim.Microsecond, MaxDur: 60 * sim.Microsecond, Alpha: 1.8},
+		},
+	},
+}
+
+// Presets returns the preset plan names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named preset plan (a copy) and whether it exists.
+func Preset(name string) (Plan, bool) {
+	p, ok := presets[name]
+	if !ok {
+		return Plan{}, false
+	}
+	injs := make([]Injector, len(p.Injectors))
+	copy(injs, p.Injectors)
+	p.Injectors = injs
+	return p, true
+}

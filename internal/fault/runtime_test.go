@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"testing"
+
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+)
+
+func quietKernel(eng *sim.Engine, name string, cores int) *kernel.Kernel {
+	return kernel.New(eng, kernel.Config{
+		Name: name, Cores: cores, MemGB: 1,
+		Params: kernel.Params{Quiet: true},
+	}, rng.New(1))
+}
+
+// contendedRun doses a quiet kernel with plan for window while tasks hammer
+// LockZone, and returns the kernel stats after the engine drains.
+func contendedRun(t *testing.T, plan Plan, seed uint64) kernel.Stats {
+	t.Helper()
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 2)
+	AttachUntil(eng, rng.New(seed), plan, 20*sim.Millisecond, k)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 100; i++ {
+			var l kernel.OpList
+			l.Crit(kernel.LockZone, 50*sim.Microsecond)
+			k.Submit(c, &kernel.Task{Ops: l.Ops(), OnDone: func(sim.Time) {}})
+		}
+	}
+	eng.Run()
+	return k.Stats()
+}
+
+func TestLockHoldInjectionIsDeterministic(t *testing.T) {
+	plan, _ := Preset("memstorm")
+	a := contendedRun(t, plan, 7)
+	b := contendedRun(t, plan, 7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := contendedRun(t, plan, 8)
+	if a == c {
+		t.Fatal("different seeds produced identical stats")
+	}
+}
+
+func TestInjectedHoldsDelayWaiters(t *testing.T) {
+	plan, _ := Preset("memstorm")
+	st := contendedRun(t, plan, 7)
+	if st.InjHolds == 0 || st.InjHoldTime == 0 {
+		t.Fatalf("no injected holds recorded: %+v", st)
+	}
+	if st.InjLockWait == 0 {
+		t.Fatalf("tasks queued on LockZone behind injected holders, but InjLockWait = 0: %+v", st)
+	}
+	if st.InjLockWait > st.LockWait {
+		t.Fatalf("injected wait %v exceeds total lock wait %v", st.InjLockWait, st.LockWait)
+	}
+}
+
+func TestCleanRunHasNoInjectionCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 2)
+	for c := 0; c < 2; c++ {
+		var l kernel.OpList
+		l.Crit(kernel.LockZone, 50*sim.Microsecond)
+		k.Submit(c, &kernel.Task{Ops: l.Ops(), OnDone: func(sim.Time) {}})
+	}
+	eng.Run()
+	st := k.Stats()
+	if st.InjHolds != 0 || st.InjLockWait != 0 || st.InjBursts != 0 || st.InjStolen != 0 {
+		t.Fatalf("clean run has injection counters: %+v", st)
+	}
+	if k.InjectionEnabled() {
+		t.Fatal("injection enabled without Attach")
+	}
+}
+
+func TestJitterDosesQuietKernel(t *testing.T) {
+	plan, _ := Preset("tickstorm")
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 1)
+	Attach(eng, rng.New(7), plan, k)
+	var got sim.Time
+	var l kernel.OpList
+	l.Compute(10 * sim.Millisecond)
+	k.Submit(0, &kernel.Task{Ops: l.Ops(), OnDone: func(e sim.Time) { got = e }})
+	eng.Run()
+	st := k.Stats()
+	if st.InjBursts == 0 || st.InjStolen == 0 {
+		t.Fatalf("jitter stream did not dose the quiet kernel: %+v", st)
+	}
+	if got <= 10*sim.Millisecond {
+		t.Fatalf("compute latency %v not stretched by injected jitter", got)
+	}
+	if got != 10*sim.Millisecond+st.InjStolen {
+		t.Fatalf("latency %v != compute + injected steal %v", got, 10*sim.Millisecond+st.InjStolen)
+	}
+}
+
+func TestIPIStormChargesEveryCore(t *testing.T) {
+	plan, _ := Preset("tlbstorm")
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 4)
+	AttachUntil(eng, rng.New(7), plan, 5*sim.Millisecond, k)
+	lat := make([]sim.Time, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		var l kernel.OpList
+		// Handler debt is charged when a core's slice elapses, so give each
+		// core a stream of short ops spanning the injection window.
+		for i := 0; i < 100; i++ {
+			l.Compute(100 * sim.Microsecond)
+		}
+		k.Submit(c, &kernel.Task{Ops: l.Ops(), OnDone: func(e sim.Time) { lat[c] = e }})
+	}
+	eng.Run()
+	st := k.Stats()
+	if st.InjBursts == 0 || st.InjStolen == 0 {
+		t.Fatalf("IPI storm charged nothing: %+v", st)
+	}
+	for c, e := range lat {
+		if e <= 10*sim.Millisecond {
+			t.Fatalf("core %d latency %v not stretched by broadcast handler debt", c, e)
+		}
+	}
+}
+
+func TestScopeFiltersKernels(t *testing.T) {
+	plan, _ := Preset("memstorm")
+	plan.Scope = "vmB"
+	eng := sim.NewEngine()
+	a := quietKernel(eng, "vmA", 1)
+	b := quietKernel(eng, "vmB", 1)
+	AttachUntil(eng, rng.New(7), plan, 10*sim.Millisecond, a, b)
+	eng.Run()
+	if a.InjectionEnabled() {
+		t.Fatal("out-of-scope kernel got injection enabled")
+	}
+	if !b.InjectionEnabled() {
+		t.Fatal("in-scope kernel not armed")
+	}
+	if b.Stats().InjHolds == 0 {
+		t.Fatalf("in-scope kernel saw no holds: %+v", b.Stats())
+	}
+	if a.Stats().InjHolds != 0 {
+		t.Fatalf("out-of-scope kernel saw holds: %+v", a.Stats())
+	}
+}
+
+func TestStopLetsEngineDrain(t *testing.T) {
+	plan, _ := Preset("mixed")
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 1)
+	rt := Attach(eng, rng.New(7), plan, k) // no deadline: must Stop or Run spins forever
+	var l kernel.OpList
+	l.Compute(3 * sim.Millisecond)
+	k.Submit(0, &kernel.Task{Ops: l.Ops(), OnDone: func(sim.Time) { rt.Stop() }})
+	eng.Run() // returns only if Stop halts the self-rescheduling chains
+	if k.Stats().TasksRun != 1 {
+		t.Fatalf("TasksRun = %d", k.Stats().TasksRun)
+	}
+}
+
+func TestDaemonStormSweepsClassInOrder(t *testing.T) {
+	plan, _ := Preset("fsflush")
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 1)
+	AttachUntil(eng, rng.New(7), plan, 30*sim.Millisecond, k)
+	eng.Run()
+	st := k.Stats()
+	// Each sweep holds every ClassFS lock in order; 30ms at a 2ms mean gap
+	// completes several full sweeps, so at least one class-worth of holds
+	// must have been recorded (the deadline may cut the last sweep short).
+	if n := uint64(len(ClassFS.Locks())); st.InjHolds < n {
+		t.Fatalf("InjHolds = %d, want at least one full sweep of %d locks: %+v", st.InjHolds, n, st)
+	}
+}
+
+func TestAttachPanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach accepted an invalid plan")
+		}
+	}()
+	eng := sim.NewEngine()
+	k := quietKernel(eng, "vm0", 1)
+	Attach(eng, rng.New(1), Plan{Name: "bad"}, k)
+}

@@ -40,11 +40,25 @@ func (k *Kernel) step(c *core, t *Task) {
 		if k.tracer != nil {
 			waiters = l.QueueLen()
 		}
+		// Snapshot the injected-hold accumulator at request time; the delta
+		// at grant, clamped to the wait, is the injected share of it.
+		var injSnap sim.Time
+		if k.inj != nil {
+			injSnap = k.inj.lockHoldAccum[op.Lock]
+		}
 		l.Acquire(func() {
 			wait := k.eng.Now() - reqAt
 			k.stats.LockWait += wait
+			var injWait sim.Time
+			if k.inj != nil {
+				injWait = k.inj.lockHoldAccum[op.Lock] - injSnap
+				if injWait > wait {
+					injWait = wait
+				}
+				k.stats.InjLockWait += injWait
+			}
 			if tr := k.tracer; tr != nil {
-				tr.LockAcquired(t.blame, k.eng.Now(), c.id, TraceLockName(op.Lock), wait, waiters)
+				tr.LockAcquired(t.blame, k.eng.Now(), c.id, TraceLockName(op.Lock), wait, injWait, waiters)
 				t.lockAcqAt = append(t.lockAcqAt, k.eng.Now())
 			}
 			k.step(c, t)
@@ -304,14 +318,33 @@ func (k *Kernel) elapse(c *core, t *Task, start sim.Time, d sim.Time) sim.Time {
 		}
 		c.pendingSteal = 0
 	}
-	if k.par.Quiet {
+	// Injected interrupt debt (fault-injection IPI storms) likewise, kept
+	// separate so the steal is attributed as injected.
+	if c.pendingInj > 0 {
+		end += c.pendingInj
+		k.stats.InjBursts++
+		k.stats.InjStolen += c.pendingInj
+		if tr := k.tracer; tr != nil {
+			tr.Steal(t.blame, start, c.id, trace.StealInjIPI, c.pendingInj)
+		}
+		c.pendingInj = 0
+	}
+	quiet := k.par.Quiet
+	if quiet && (k.inj == nil || !k.inj.jitter) {
 		return end
 	}
 	// Housekeeping generated by this kernel shrinks when the kernel does
 	// little kernel-mode work (there is little dirty state to write back
-	// or reclaim).
-	loadFactor := k.loadFactor()
+	// or reclaim). A Quiet kernel produces no housekeeping of its own but
+	// still absorbs injected jitter streams — the controlled-dosing case.
+	var loadFactor float64
+	if !quiet {
+		loadFactor = k.loadFactor()
+	}
 	for _, ns := range c.noise {
+		if quiet && !ns.injected {
+			continue
+		}
 		// Skip bursts that completed while idle.
 		for ns.next+ns.len <= start {
 			ns.advance(ns.next + ns.len)
@@ -330,13 +363,23 @@ func (k *Kernel) elapse(c *core, t *Task, start sim.Time, d sim.Time) sim.Time {
 			}
 			steal += ns.perBurstExtra
 			end += steal
-			k.stats.NoiseBursts++
-			k.stats.NoiseStolen += steal
+			if ns.injected {
+				k.stats.InjBursts++
+				k.stats.InjStolen += steal
+			} else {
+				k.stats.NoiseBursts++
+				k.stats.NoiseStolen += steal
+			}
 			if tr := k.tracer; tr != nil {
 				tr.Steal(t.blame, ns.next, c.id, ns.kind, steal)
 			}
 			ns.advance(ns.next + ns.len)
 		}
+	}
+	// A Quiet kernel ticks not at all: only the injected streams above
+	// perturb it.
+	if quiet {
+		return end
 	}
 	// Timer ticks: every boundary crossed costs TickCost. One pass —
 	// the second-order effect of tick-steal crossing further boundaries is

@@ -73,14 +73,17 @@ func (s *Sample) sort() {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
-// between order statistics. It panics on an empty sample — asking for a
-// quantile of nothing is always a harness bug.
+// between order statistics. On an empty sample it returns NaN: filtered
+// ablations (e.g. fault-injection runs restricted to a site subset) can
+// legitimately produce empty per-site samples, and NaN propagates visibly
+// through downstream arithmetic where a panic would kill the whole sweep.
+// Out-of-range q still panics — that is always a harness bug.
 func (s *Sample) Quantile(q float64) float64 {
-	if len(s.vals) == 0 {
-		panic("stats: quantile of empty sample")
-	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(s.vals) == 0 {
+		return math.NaN()
 	}
 	s.sort()
 	if len(s.vals) == 1 {
@@ -102,22 +105,29 @@ func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 // P99 returns the 0.99 quantile, the paper's headline tail metric.
 func (s *Sample) P99() float64 { return s.Quantile(0.99) }
 
-// Max returns the worst-case observation.
+// Max returns the worst-case observation, or NaN for an empty sample
+// (consistent with Quantile).
 func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
 	s.sort()
 	return s.vals[len(s.vals)-1]
 }
 
-// Min returns the best-case observation.
+// Min returns the best-case observation, or NaN for an empty sample.
 func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
 	s.sort()
 	return s.vals[0]
 }
 
-// Mean returns the arithmetic mean.
+// Mean returns the arithmetic mean, or NaN for an empty sample.
 func (s *Sample) Mean() float64 {
 	if len(s.vals) == 0 {
-		panic("stats: mean of empty sample")
+		return math.NaN()
 	}
 	var sum float64
 	for _, v := range s.vals {

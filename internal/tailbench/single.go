@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ksa/internal/corpus"
+	"ksa/internal/fault"
 	"ksa/internal/kernel"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
@@ -35,6 +36,11 @@ type SingleNodeConfig struct {
 	// NoiseIterGap is the noise tenant's per-iteration overhead
 	// (default 500µs).
 	NoiseIterGap sim.Time
+	// Faults, when non-nil, doses the environment with the interference
+	// plan for the warmup+measure window (injection seeds derive from
+	// Seed). Composable with Contended: corpus noise and injected noise
+	// then coexist.
+	Faults *fault.Plan
 }
 
 // MeasureServiceTime runs requests back-to-back on one idle core of a
@@ -116,6 +122,10 @@ func RunSingleNode(cfg SingleNodeConfig) Measurement {
 	}
 	if opts.MeanService == 0 {
 		opts.MeanService = MeasureServiceTime(cfg.Kind, cfg.App, cfg.Machine, cfg.Partitions, cfg.Seed)
+	}
+	if cfg.Faults != nil {
+		fsrc := rng.New(cfg.Seed ^ 0xfa17).Split(1)
+		fault.AttachUntil(eng, fsrc, *cfg.Faults, eng.Now()+opts.Warmup+opts.Measure, env.Kernels...)
 	}
 	collect := RunServer(env, appCores, cfg.App, opts)
 	if cfg.Contended {

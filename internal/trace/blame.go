@@ -17,6 +17,11 @@ const (
 	CauseBlockIO  = "block-io"
 	CauseSleep    = "sleep"
 	CauseOther    = "other"
+	// CauseInjLockHold is wait time spent queued behind injected lock
+	// holders (internal/fault) — separated from the emergent "lock:<name>"
+	// contention so dosed interference is distinguishable from the
+	// interference the model produces on its own.
+	CauseInjLockHold = "injected:lock-hold"
 )
 
 // LockCause returns the blame-cause label for a lock name.
@@ -44,7 +49,10 @@ type TaskBlame struct {
 	IPI       sim.Time
 	BlockIO   sim.Time
 	Sleep     sim.Time
-	Steal     [numStealKinds]sim.Time
+	// InjLockWait is lock wait attributed to injected holders; injected
+	// CPU steal lands in Steal under its own kinds.
+	InjLockWait sim.Time
+	Steal       [numStealKinds]sim.Time
 
 	lockWait []lockAmount
 }
@@ -96,6 +104,7 @@ func (tb *TaskBlame) record(end, wall sim.Time) BlameRecord {
 	add(CauseIPI, tb.IPI)
 	add(CauseBlockIO, tb.BlockIO)
 	add(CauseSleep, tb.Sleep)
+	add(CauseInjLockHold, tb.InjLockWait)
 	for k, t := range tb.Steal {
 		add(StealCause(StealKind(k)), t)
 	}

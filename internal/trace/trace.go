@@ -77,6 +77,11 @@ const (
 	EvVMExit
 	// EvSleep is a voluntary off-CPU wait (Dur).
 	EvSleep
+	// EvInject is one completed interference injection (What names the
+	// perturbed resource — a lock for holds, "ipi" for storms; Dur the
+	// injected hold or dispatch time, Aux the injector kind as an opaque
+	// discriminator supplied by internal/fault).
+	EvInject
 )
 
 var eventKindNames = [...]string{
@@ -90,6 +95,7 @@ var eventKindNames = [...]string{
 	EvBlockIO:     "block-io",
 	EvVMExit:      "vm-exit",
 	EvSleep:       "sleep",
+	EvInject:      "inject",
 }
 
 // String names the kind.
@@ -127,12 +133,19 @@ const (
 	// StealIPIHandler is interrupt-handler debt from other cores' IPI/TLB
 	// broadcasts.
 	StealIPIHandler
+	// StealInjJitter is timer-interrupt jitter dosed onto compute slices by
+	// the fault-injection subsystem (internal/fault).
+	StealInjJitter
+	// StealInjIPI is interrupt-handler debt from injected IPI/TLB-shootdown
+	// storms.
+	StealInjIPI
 
 	numStealKinds
 )
 
 var stealNames = [numStealKinds]string{
 	"housekeeping", "host-residency", "tick", "ipi-handler",
+	"injected-jitter", "injected-ipi",
 }
 
 // String names the stream.
@@ -261,8 +274,13 @@ func (tr *Tracer) Compute(tb *TaskBlame, d sim.Time) {
 }
 
 // LockAcquired records a kernel lock grant: the wait the task paid and the
-// queue length it saw at request time.
-func (tr *Tracer) LockAcquired(tb *TaskBlame, at sim.Time, core int, name string, wait sim.Time, waiters int) {
+// queue length it saw at request time. injWait is the portion of the wait
+// the kernel attributes to injected lock holds (internal/fault); the blame
+// decomposition separates it from the emergent contention under the
+// "injected:lock-hold" cause, while the lockstat aggregates — which
+// describe the lock's observed reality, whatever the cause — keep the full
+// wait.
+func (tr *Tracer) LockAcquired(tb *TaskBlame, at sim.Time, core int, name string, wait, injWait sim.Time, waiters int) {
 	ls := tr.lockStat(name)
 	ls.Acquires++
 	if wait > 0 {
@@ -277,9 +295,17 @@ func (tr *Tracer) LockAcquired(tb *TaskBlame, at sim.Time, core int, name string
 	}
 	ls.Wait.Add(wait.Micros())
 	if tb != nil {
-		tb.addLock(name, wait)
+		tb.addLock(name, wait-injWait)
+		tb.InjLockWait += injWait
 	}
 	tr.emit(Event{At: at, Kind: EvLockAcquire, Core: int32(core), What: name, Dur: wait, Aux: int64(waiters)})
+}
+
+// InjectedHold records one completed injected lock hold (the injector is
+// not a task, so there is no blame accumulator — victims' waits are
+// attributed via LockAcquired's injWait instead).
+func (tr *Tracer) InjectedHold(at sim.Time, what string, kind int, d sim.Time) {
+	tr.emit(Event{At: at, Kind: EvInject, Core: -1, What: what, Dur: d, Aux: int64(kind)})
 }
 
 // LockReleased records a kernel lock release and the hold time (holder

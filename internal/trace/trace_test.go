@@ -35,8 +35,8 @@ func TestBlameRecordDecomposition(t *testing.T) {
 	tr := New("k", Options{Threshold: us(100)})
 	tb := tr.BeginTask(0, 3, "p0/c1 fsync", 0, us(5))
 	tr.Compute(tb, us(10))
-	tr.LockAcquired(tb, us(50), 3, "journal", us(60), 7)
-	tr.LockAcquired(tb, us(55), 3, "journal", us(20), 1) // same lock accumulates
+	tr.LockAcquired(tb, us(50), 3, "journal", us(60), 0, 7)
+	tr.LockAcquired(tb, us(55), 3, "journal", us(20), 0, 1) // same lock accumulates
 	tr.IPI(tb, us(60), 3, 63, us(4), us(6))
 	tr.Steal(tb, us(70), 3, StealHousekeeping, us(15))
 	tr.EndTask(tb, us(130), us(130))
@@ -112,7 +112,7 @@ func TestMaxRecordsCap(t *testing.T) {
 func TestHooksNilBlameSafe(t *testing.T) {
 	tr := New("k", Options{})
 	tr.Compute(nil, us(1))
-	tr.LockAcquired(nil, 0, 0, "journal", us(1), 0)
+	tr.LockAcquired(nil, 0, 0, "journal", us(1), 0, 0)
 	tr.MMapWait(nil, 0, 0, us(1))
 	tr.Steal(nil, 0, 0, StealTick, us(1))
 	tr.IPI(nil, 0, 0, 3, us(1), us(1))
@@ -129,10 +129,10 @@ func TestHooksNilBlameSafe(t *testing.T) {
 
 func TestLockStatsAggregationAndOrder(t *testing.T) {
 	tr := New("k", Options{})
-	tr.LockAcquired(nil, 0, 0, "a", us(10), 2)
-	tr.LockAcquired(nil, 0, 0, "a", 0, 0)
+	tr.LockAcquired(nil, 0, 0, "a", us(10), 0, 2)
+	tr.LockAcquired(nil, 0, 0, "a", 0, 0, 0)
 	tr.LockReleased(0, 0, "a", us(3))
-	tr.LockAcquired(nil, 0, 0, "b", us(40), 5)
+	tr.LockAcquired(nil, 0, 0, "b", us(40), 0, 5)
 	tr.MMapWait(nil, 0, 0, us(2))
 
 	ls := tr.LockStat("a")
@@ -157,7 +157,7 @@ func TestLockStatsAggregationAndOrder(t *testing.T) {
 func TestMergeLockStats(t *testing.T) {
 	mk := func(wait sim.Time) *Tracer {
 		tr := New("k", Options{})
-		tr.LockAcquired(nil, 0, 0, "journal", wait, 1)
+		tr.LockAcquired(nil, 0, 0, "journal", wait, 0, 1)
 		tr.LockReleased(0, 0, "journal", wait/2)
 		return tr
 	}
@@ -186,7 +186,7 @@ func TestTotalsOf(t *testing.T) {
 	tr := New("k", Options{Threshold: 1})
 	for i := 0; i < 3; i++ {
 		tb := tr.BeginTask(0, 0, "x", 0, 0)
-		tr.LockAcquired(tb, 0, 0, "journal", us(50), 0)
+		tr.LockAcquired(tb, 0, 0, "journal", us(50), 0, 0)
 		tr.Compute(tb, us(5))
 		tr.EndTask(tb, us(55), us(55))
 	}

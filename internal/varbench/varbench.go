@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"ksa/internal/corpus"
+	"ksa/internal/fault"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
 	"ksa/internal/sim"
@@ -55,6 +56,12 @@ type Options struct {
 	// Result carries per-site blame records. Tracing is observational: the
 	// measured latencies are bit-identical with Trace set or nil.
 	Trace *trace.Options
+	// Faults, when non-nil, attaches the interference plan to the
+	// environment's kernels for the duration of the run. Injection
+	// randomness derives from Seed, so the same (plan, seed) perturbs
+	// identically run to run; injectors stop when the last core finishes
+	// its schedule.
+	Faults *fault.Plan
 }
 
 // DefaultOptions returns the scaled-down defaults used throughout the
@@ -223,6 +230,15 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 		}
 	}
 
+	// Interference injection: armed before any work is submitted, stopped
+	// when the last core finishes its schedule so the engine can drain.
+	var faultRt *fault.Runtime
+	if opts.Faults != nil {
+		fsrc := rng.New(opts.Seed ^ 0xfa17).Split(1)
+		faultRt = fault.Attach(env.Eng, fsrc, *opts.Faults, env.Kernels...)
+	}
+	coresLeft := nCores
+
 	barrier := sim.NewBarrier(env.Eng, nCores, opts.BarrierHop)
 	skewSrc := rng.New(opts.Seed ^ 0x5645454b)
 	maxSkew := 8 * opts.ReleaseSkewMean
@@ -251,6 +267,10 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 	var launch func(core, prog, iter int)
 	launch = func(core, prog, iter int) {
 		if prog >= len(c.Programs) {
+			coresLeft--
+			if coresLeft == 0 && faultRt != nil {
+				faultRt.Stop()
+			}
 			return
 		}
 		if iter >= total {

@@ -28,6 +28,7 @@ import (
 	"ksa/internal/cluster"
 	"ksa/internal/core"
 	"ksa/internal/corpus"
+	"ksa/internal/fault"
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
@@ -94,6 +95,15 @@ type (
 	SweepRun = core.SweepRun
 	// RunnerMetrics reports a parallel fan-out's wall/queue accounting.
 	RunnerMetrics = runner.Metrics
+	// FaultPlan is a deterministic interference-injection scenario
+	// (set VarbenchOptions.Faults / SweepOptions.Faults / ClusterConfig.Faults).
+	FaultPlan = fault.Plan
+	// FaultInjector is one interference source within a plan.
+	FaultInjector = fault.Injector
+	// InterferenceResult is the fault-injection surface-area ablation.
+	InterferenceResult = core.InterferenceResult
+	// InterferenceRow is one environment's amplification under a plan.
+	InterferenceRow = core.InterferenceRow
 )
 
 // Environment kinds.
@@ -228,6 +238,15 @@ var (
 	// RunAblation quantifies each interference mechanism's contribution to
 	// the shared kernel's tails.
 	RunAblation = core.RunAblation
+	// RunInterference doses one fault plan across surface-area partitions
+	// and reports p50/p99/max amplification per environment.
+	RunInterference = core.RunInterference
+	// FaultPresets lists the built-in interference plan names.
+	FaultPresets = fault.Presets
+	// FaultPreset returns a built-in plan by name.
+	FaultPreset = fault.Preset
+	// DecodeFaultPlan parses a plan from its canonical text form.
+	DecodeFaultPlan = fault.Decode
 )
 
 // KindLightVMs selects the lightweight-VM (Firecracker/Kata-class)
