@@ -3,13 +3,21 @@
 // Usage:
 //
 //	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
-//	       [-seed N] [-parallel N] [-trace] [-fault name|list]
+//	       [-seed N] [-parallel N] [-cache dir|off] [-cache-verify]
+//	       [-trace] [-fault name|list]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
 // blame experiment (a traced native-machine varbench run attributing every
 // over-threshold outlier to a kernel structure); it can also be selected
 // directly with -exp blame.
+//
+// -cache points every experiment at a content-addressed result store:
+// simulation cells are consulted there before running and written through
+// after, so a repeated invocation reports 100% hits and an interrupted one
+// resumes executing only the missing cells, with byte-identical tables and
+// CSV either way. -cache-verify recomputes every hit and asserts
+// byte-equality with the stored entry (a standing bit-identity audit).
 package main
 
 import (
@@ -28,6 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty or 'off' disables); repeated runs reuse bit-identical cached cells, interrupted runs resume")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and assert byte-equality with the stored entry")
 	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
 	faultName := flag.String("fault", "mixed", "interference plan for -exp interference: a preset name, or 'list' to print the presets and exit")
 	flag.Parse()
@@ -65,6 +75,22 @@ func main() {
 	}
 	sc.Parallel = *parallel
 
+	var cache *ksa.ResultCache
+	if *cacheDir != "" && *cacheDir != "off" {
+		var err error
+		cache, err = ksa.OpenResultCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksaexp:", err)
+			os.Exit(2)
+		}
+	}
+	if *cacheVerify && cache == nil {
+		fmt.Fprintln(os.Stderr, "ksaexp: -cache-verify needs -cache <dir>")
+		os.Exit(2)
+	}
+	sc.Cache = cache
+	sc.CacheVerify = *cacheVerify
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -81,16 +107,26 @@ func main() {
 		ran++
 		t0 := time.Now()
 		ev0 := ksa.EventsExecuted()
+		var c0 ksa.CacheStats
+		if cache != nil {
+			c0 = cache.Stats()
+		}
 		fn()
 		wall := time.Since(t0)
 		ev := ksa.EventsExecuted() - ev0
 		if ev > 0 && wall > 0 {
-			fmt.Printf("[%s finished in %v — %.2fM events, %.2fM events/sec]\n\n",
+			fmt.Printf("[%s finished in %v — %.2fM events, %.2fM events/sec]\n",
 				name, wall.Round(time.Millisecond),
 				float64(ev)/1e6, float64(ev)/wall.Seconds()/1e6)
 		} else {
-			fmt.Printf("[%s finished in %v]\n\n", name, wall.Round(time.Millisecond))
+			fmt.Printf("[%s finished in %v]\n", name, wall.Round(time.Millisecond))
 		}
+		if cache != nil {
+			if d := cache.Stats().Sub(c0); d.Lookups() > 0 {
+				fmt.Printf("[%s cache: %s]\n", name, d)
+			}
+		}
+		fmt.Println()
 	}
 
 	run("table1", func() { fmt.Println(ksa.VMConfigTable().String()) })

@@ -6,11 +6,19 @@
 //
 //	varbench [-corpus file] [-env native|kvm|docker] [-units N]
 //	         [-cores N] [-mem GB] [-iters N] [-warmup N] [-seed N]
-//	         [-trials N] [-parallel N] [-trace] [-fault name|list]
+//	         [-trials N] [-parallel N] [-cache dir|off] [-cache-verify]
+//	         [-trace] [-fault name|list]
 //
 // Without -corpus, a corpus is generated on the fly from the seed. With
 // -trace, every kernel is traced and the blame report (top-blamed shared
 // structures, worst records, pooled lockstat) follows the breakdowns.
+//
+// -cache memoizes runs in a content-addressed result store: a repeated
+// invocation is served from disk bit-identically, and an interrupted
+// multi-trial sweep resumes executing only the missing trials.
+// -cache-verify recomputes every hit and asserts byte-equality with the
+// stored entry. Traced runs and runs needing live kernel state
+// (-contention) bypass the cache.
 //
 // With -trials N (N > 1) the run becomes a sweep: N independent
 // repetitions of the same configuration, each with a seed derived from its
@@ -38,6 +46,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed (nonzero)")
 	trials := flag.Int("trials", 1, "independent repetitions with per-trial derived seeds")
 	parallel := flag.Int("parallel", 0, "worker threads for a multi-trial sweep (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty or 'off' disables)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and assert byte-equality with the stored entry")
 	contention := flag.Bool("contention", false, "print per-kernel lock contention reports")
 	traceOn := flag.Bool("trace", false, "trace every kernel and print the blame report")
 	faultName := flag.String("fault", "", "dose the run with an interference plan: a preset name, or 'list' to print the presets and exit")
@@ -106,29 +116,58 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *trials > 1 {
-		runSweep(kind, m, c, itersOpt, *warmup, *seed, *trials, *parallel, *traceOn, faults)
-		return
+	var cache *ksa.ResultCache
+	if *cacheDir != "" && *cacheDir != "off" {
+		var err error
+		cache, err = ksa.OpenResultCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varbench:", err)
+			os.Exit(2)
+		}
+	}
+	if *cacheVerify && cache == nil {
+		fmt.Fprintln(os.Stderr, "varbench: -cache-verify needs -cache <dir>")
+		os.Exit(2)
 	}
 
-	eng := ksa.NewEngine()
-	var env *ksa.Environment
-	switch kind {
-	case ksa.KindNative:
-		env = ksa.NewNativeEnvironment(eng, m, *seed)
-	case ksa.KindVMs:
-		env = ksa.NewVMEnvironment(eng, m, *units, *seed)
-	case ksa.KindContainers:
-		env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
+	if *trials > 1 {
+		runSweep(kind, m, c, itersOpt, *warmup, *seed, *trials, *parallel, *traceOn, faults,
+			cache, *cacheVerify)
+		return
 	}
 
 	opts := ksa.VarbenchOptions{Iterations: itersOpt, Warmup: *warmup, Seed: *seed, Faults: faults}
 	if *traceOn {
 		opts.Trace = &ksa.TraceOptions{}
 	}
-	res := ksa.RunVarbench(env, c, opts)
+	var res *ksa.VarbenchResult
+	var env *ksa.Environment
+	if *contention {
+		// The contention report reads live kernel state after the run, so
+		// this path keeps its environment and bypasses the cache (traced
+		// runs bypass it inside RunVarbenchCached for the same reason).
+		if cache != nil {
+			fmt.Fprintln(os.Stderr, "varbench: -contention needs live kernels; running uncached")
+		}
+		eng := ksa.NewEngine()
+		switch kind {
+		case ksa.KindNative:
+			env = ksa.NewNativeEnvironment(eng, m, *seed)
+		case ksa.KindVMs:
+			env = ksa.NewVMEnvironment(eng, m, *units, *seed)
+		case ksa.KindContainers:
+			env = ksa.NewContainerEnvironment(eng, m, *units, *seed)
+		}
+		res = ksa.RunVarbench(env, c, opts)
+	} else {
+		spec := ksa.EnvSpec{Kind: kind}
+		if kind != ksa.KindNative {
+			spec.Units = *units
+		}
+		res = ksa.RunVarbenchCached(cache, *cacheVerify, spec, m, c, opts)
+	}
 	fmt.Printf("%s: %d call sites, %d cores, %d iterations\n",
-		env.Name, len(res.Sites), res.Cores, res.Iterations)
+		res.Env, len(res.Sites), res.Cores, res.Iterations)
 	printBreakdowns(res)
 	if *contention {
 		fmt.Println()
@@ -145,6 +184,9 @@ func main() {
 	if *traceOn {
 		fmt.Println()
 		fmt.Print(ksa.RenderBlame(res, 10))
+	}
+	if cache != nil && !*contention && !*traceOn {
+		fmt.Printf("cache: %s\n", cache.Stats())
 	}
 }
 
@@ -168,12 +210,15 @@ func printBreakdowns(res *ksa.VarbenchResult) {
 }
 
 func runSweep(kind ksa.EnvKind, m ksa.Machine, c *ksa.Corpus,
-	iters, warmup int, seed uint64, trials, parallel int, traceOn bool, faults *ksa.FaultPlan) {
+	iters, warmup int, seed uint64, trials, parallel int, traceOn bool, faults *ksa.FaultPlan,
+	cache *ksa.ResultCache, cacheVerify bool) {
 	sc := ksa.QuickScale()
 	sc.Seed = seed
 	sc.Iterations = iters
 	sc.Warmup = warmup
 	sc.Parallel = parallel
+	sc.Cache = cache
+	sc.CacheVerify = cacheVerify
 	env := ksa.EnvSpec{Kind: kind}
 	if kind != ksa.KindNative {
 		env.Units = flag.Lookup("units").Value.(flag.Getter).Get().(int)

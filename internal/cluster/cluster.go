@@ -98,6 +98,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Fingerprint renders the result-shaping configuration canonically, with
+// defaults applied — the environment component of a result-cache key.
+// Seed, Faults, and NoiseCorpus are excluded (they are their own key
+// components), and Workers is excluded because worker count never changes
+// a result bit.
+func (c Config) Fingerprint() string {
+	c = c.withDefaults()
+	app := ""
+	if c.App != nil {
+		app = c.App.Name
+	}
+	conc := c.Concurrency
+	if conc < 0 {
+		conc = 0
+	}
+	return fmt.Sprintf("cluster/%s/%s/cont=%t/nodes=%d/iters=%d/reqs=%d/conc=%d/machine=%dc%gg/parts=%d/gap=%d/hop=%d",
+		app, c.Kind, c.Contended, c.Nodes, c.Iterations, c.RequestsPerIter, conc,
+		c.NodeMachine.Cores, c.NodeMachine.MemGB, c.Partitions,
+		int64(c.NoiseIterGap), int64(c.BarrierHop))
+}
+
 // Result is the outcome of one cluster run.
 type Result struct {
 	App       string

@@ -103,6 +103,7 @@ func Fig4Apps() []string {
 // applications, isolated and contended, on KVM and Docker.
 func RunFigure4(sc Scale) Figure4Result {
 	noise := sc.noiseCorpus()
+	noiseDigest := sc.corpusDigest(noise)
 	apps := Fig4Apps()
 	// One job per (app, substrate, contention) cell — 24 independent
 	// cluster simulations. The outer fan-out saturates the workers, so each
@@ -122,11 +123,11 @@ func RunFigure4(sc Scale) Figure4Result {
 	}
 	runtimes, _ := runner.Map(len(cells), sc.Parallel, func(i int) float64 {
 		cl := cells[i]
-		r := cluster.Run(cluster.Config{
+		r := cachedCluster(sc.Cache, sc.CacheVerify, cluster.Config{
 			App: tailbench.AppByName(cl.app), Kind: cl.kind, Contended: cl.cont,
 			NoiseCorpus: noise, Nodes: sc.Nodes, Iterations: sc.ClusterIterations,
 			RequestsPerIter: sc.RequestsPerIter, Seed: sc.Seed, Workers: 1,
-		})
+		}, noiseDigest)
 		return r.Runtime.Millis()
 	})
 	var out Figure4Result

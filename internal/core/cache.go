@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"ksa/internal/cluster"
+	"ksa/internal/corpus"
+	"ksa/internal/fault"
+	"ksa/internal/platform"
+	"ksa/internal/resultcache"
+	"ksa/internal/resultcache/codec"
+	"ksa/internal/runner"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
+	"ksa/internal/varbench"
+)
+
+// Payload kinds stored by the experiment runners.
+const (
+	cacheKindVarbench = "varbench"
+	cacheKindCluster  = "cluster"
+)
+
+// corpusDigest returns the cache-key digest of c, or "" when the cache is
+// off (the digest costs one text serialization; skip it for uncached
+// runs).
+func (sc Scale) corpusDigest(c *corpus.Corpus) string {
+	if sc.Cache == nil {
+		return ""
+	}
+	return corpus.Digest(c, syscalls.Default())
+}
+
+// varbenchKey builds the cache key for one harness run: the complete input
+// set of the pure function varbench.Run ∘ EnvSpec.Build. The experiment
+// that asks is deliberately NOT part of the key — Table 2's kvm-64 cell
+// and Figure 2's are the same computation and share one entry.
+func varbenchKey(env EnvSpec, m platform.Machine, opts varbench.Options,
+	faultSig, corpusDigest string, seed uint64) resultcache.Key {
+	return resultcache.Key{
+		Salt:     resultcache.CodeVersion,
+		Kind:     cacheKindVarbench,
+		Env:      fmt.Sprintf("%s@%dc%gg", env, m.Cores, m.MemGB),
+		Opts:     opts.Fingerprint(),
+		FaultSig: faultSig,
+		Corpus:   corpusDigest,
+		Seed:     seed,
+	}
+}
+
+// cachedVarbench consults the store before running fresh and writes
+// through after. A corrupt or undecodable entry is reclassified as a miss
+// and recomputed; with verify set, every hit is recomputed and must be
+// byte-equal to the stored entry.
+func cachedVarbench(st *resultcache.Store, verify bool, key resultcache.Key,
+	fresh func() *varbench.Result) *varbench.Result {
+	if st == nil {
+		return fresh()
+	}
+	if payload, ok := st.Get(key); ok {
+		res, err := codec.DecodeResult(payload)
+		if err == nil {
+			if verify {
+				verifyHit(key, payload, codec.EncodeResult(fresh()))
+			}
+			return res
+		}
+		st.Corrupt(key, err)
+	}
+	res := fresh()
+	st.Put(key, codec.EncodeResult(res))
+	return res
+}
+
+// cachedCluster is cachedVarbench for cluster cells.
+func cachedCluster(st *resultcache.Store, verify bool, cfg cluster.Config,
+	noiseDigest string) cluster.Result {
+	if st == nil {
+		return cluster.Run(cfg)
+	}
+	sig := ""
+	if cfg.Faults != nil {
+		sig = cfg.Faults.Sig()
+	}
+	key := resultcache.Key{
+		Salt:     resultcache.CodeVersion,
+		Kind:     cacheKindCluster,
+		Env:      cfg.Fingerprint(),
+		FaultSig: sig,
+		Corpus:   noiseDigest,
+		Seed:     cfg.Seed,
+	}
+	if payload, ok := st.Get(key); ok {
+		res, err := codec.DecodeCluster(payload)
+		if err == nil {
+			if verify {
+				fresh := cluster.Run(cfg)
+				verifyHit(key, payload, codec.EncodeCluster(&fresh))
+			}
+			return *res
+		}
+		st.Corrupt(key, err)
+	}
+	res := cluster.Run(cfg)
+	st.Put(key, codec.EncodeCluster(&res))
+	return res
+}
+
+// verifyHit asserts the recomputed encoding matches the stored one. A
+// mismatch means either the cache was poisoned or the code drifted without
+// a resultcache.CodeVersion bump — both are audit failures worth stopping
+// the run for.
+func verifyHit(key resultcache.Key, stored, fresh []byte) {
+	if !bytes.Equal(stored, fresh) {
+		panic(fmt.Sprintf("resultcache: verify failed for %s (entry %s): cached entry is not bit-identical to recomputation — poisoned cache or unbumped CodeVersion",
+			key.Env, key.Hash()[:12]))
+	}
+}
+
+// fillCacheMetrics copies the store's counter deltas since `before` onto
+// the fan-out metrics, so cache effectiveness shows up next to wall/queue
+// accounting.
+func fillCacheMetrics(m *runner.Metrics, st *resultcache.Store, before resultcache.Stats) {
+	if st == nil {
+		return
+	}
+	d := st.Stats().Sub(before)
+	m.CacheHits = int(d.Hits)
+	m.CacheMisses = int(d.Misses)
+	m.CacheBytesRead = d.BytesRead
+	m.CacheBytesWritten = d.BytesWritten
+}
+
+// cacheSnapshot returns the store's current counters (zero when off).
+func (sc Scale) cacheSnapshot() resultcache.Stats {
+	if sc.Cache == nil {
+		return resultcache.Stats{}
+	}
+	return sc.Cache.Stats()
+}
+
+// cachedCell runs one (environment, options) varbench cell of a
+// table/figure experiment through the cache. The cell's entire randomness
+// is opts.Seed: it seeds both environment construction and the harness.
+func (sc Scale) cachedCell(spec EnvSpec, m platform.Machine, c *corpus.Corpus,
+	digest string, opts varbench.Options) *varbench.Result {
+	fresh := func() *varbench.Result {
+		return varbench.Run(spec.Build(sim.NewEngine(), m, opts.Seed), c, opts)
+	}
+	if sc.Cache == nil || opts.Trace != nil {
+		return fresh()
+	}
+	sig := ""
+	if opts.Faults != nil {
+		sig = opts.Faults.Sig()
+	}
+	return cachedVarbench(sc.Cache, sc.CacheVerify,
+		varbenchKey(spec, m, opts, sig, digest, opts.Seed), fresh)
+}
+
+// RunVarbenchCached is the single-run entry point the varbench CLI uses:
+// build the environment from its spec (construction randomness and harness
+// randomness both come from opts.Seed) and run the corpus through the
+// cache. With a nil store — or a traced run, whose live tracers cannot be
+// serialized — it is exactly an uncached varbench.Run.
+func RunVarbenchCached(st *resultcache.Store, verify bool, spec EnvSpec,
+	m platform.Machine, c *corpus.Corpus, opts varbench.Options) *varbench.Result {
+	sc := Scale{Cache: st, CacheVerify: verify}
+	return sc.cachedCell(spec, m, c, sc.corpusDigest(c), opts)
+}
+
+// faultSigOf returns the plan's signature or "" for nil.
+func faultSigOf(p *fault.Plan) string {
+	if p == nil {
+		return ""
+	}
+	return p.Sig()
+}

@@ -12,7 +12,7 @@ import (
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
 	"ksa/internal/report"
-	"ksa/internal/rng"
+	"ksa/internal/resultcache"
 	"ksa/internal/runner"
 	"ksa/internal/sim"
 	"ksa/internal/stats"
@@ -34,6 +34,20 @@ type Scale struct {
 	// a shared stream, so any worker count produces bit-identical results —
 	// Parallel only changes wall-clock time.
 	Parallel int
+
+	// Cache, when non-nil, memoizes every untraced varbench and cluster
+	// cell in the content-addressed result store: workers consult it before
+	// simulating and write through after, which makes sweeps resumable
+	// (rerunning an interrupted grid recomputes only the missing cells) and
+	// cross-invocation incremental (changing one key component reuses every
+	// cell it does not invalidate). Cached and uncached runs are
+	// bit-identical — the cache stores the canonical encoding of results
+	// the determinism contract already fixes.
+	Cache *resultcache.Store
+	// CacheVerify recomputes every cache hit and panics unless the fresh
+	// encoding is byte-equal to the stored entry — a standing bit-identity
+	// audit (the -cache-verify flag).
+	CacheVerify bool
 
 	// Corpus generation.
 	CorpusPrograms int
@@ -128,22 +142,18 @@ type Table2Result struct {
 // one-core Docker containers.
 func RunTable2(sc Scale) Table2Result {
 	c, _ := sc.GenerateCorpus()
+	digest := sc.corpusDigest(c)
 	res := Table2Result{CorpusCalls: c.NumCalls()}
-	envs := []func(*sim.Engine) *platform.Environment{
-		func(e *sim.Engine) *platform.Environment {
-			return platform.Native(e, platform.PaperMachine, rng.New(sc.Seed))
-		},
-		func(e *sim.Engine) *platform.Environment {
-			return platform.VMs(e, platform.PaperMachine, 64, rng.New(sc.Seed))
-		},
-		func(e *sim.Engine) *platform.Environment {
-			return platform.Containers(e, platform.PaperMachine, 64, rng.New(sc.Seed))
-		},
+	envs := []EnvSpec{
+		{Kind: platform.KindNative},
+		{Kind: platform.KindVMs, Units: 64},
+		{Kind: platform.KindContainers, Units: 64},
 	}
 	// The three environments are independent simulations; fan them out and
-	// merge in environment order.
+	// merge in environment order. Each cell is consulted against / written
+	// through the result cache when Scale.Cache is set.
 	runs, _ := runner.Map(len(envs), sc.Parallel, func(i int) *varbench.Result {
-		return varbench.Run(envs[i](sim.NewEngine()), c, sc.vbOptions())
+		return sc.cachedCell(envs[i], platform.PaperMachine, c, digest, sc.vbOptions())
 	})
 	for _, r := range runs {
 		res.Envs = append(res.Envs, r.Env)
@@ -186,19 +196,21 @@ type Figure2Result struct {
 // paper) to call sites whose native median is at least 10µs.
 func RunFigure2(sc Scale) Figure2Result {
 	c, _ := sc.GenerateCorpus()
+	digest := sc.corpusDigest(c)
 	opts := sc.vbOptions()
 
 	// The native run (which supplies the paper's >= 10µs site filter) and
 	// the seven VM-count runs are all independent; only the filtering below
-	// needs the native result, so all eight runs fan out together.
+	// needs the native result, so all eight runs fan out together. The
+	// native and kvm-64 cells address the same cache entries as Table 2's —
+	// cells are keyed by their inputs, not by the experiment asking.
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
 	runs, _ := runner.Map(1+len(counts), sc.Parallel, func(i int) *varbench.Result {
-		eng := sim.NewEngine()
-		if i == 0 {
-			return varbench.Run(platform.Native(eng, platform.PaperMachine, rng.New(sc.Seed)), c, opts)
+		spec := EnvSpec{Kind: platform.KindNative}
+		if i > 0 {
+			spec = EnvSpec{Kind: platform.KindVMs, Units: counts[i-1]}
 		}
-		env := platform.VMs(eng, platform.PaperMachine, counts[i-1], rng.New(sc.Seed))
-		return varbench.Run(env, c, opts)
+		return sc.cachedCell(spec, platform.PaperMachine, c, digest, opts)
 	})
 	nat, results := runs[0], runs[1:]
 	include := func(s varbench.Site) bool {
@@ -251,14 +263,14 @@ type Table3Result struct {
 // with 1 to 64 containers.
 func RunTable3(sc Scale) Table3Result {
 	c, _ := sc.GenerateCorpus()
+	digest := sc.corpusDigest(c)
 	res := Table3Result{}
 	for n := 1; n <= 64; n *= 2 {
 		res.Counts = append(res.Counts, n)
 	}
 	maxes, _ := runner.Map(len(res.Counts), sc.Parallel, func(i int) stats.Breakdown {
-		eng := sim.NewEngine()
-		env := platform.Containers(eng, platform.PaperMachine, res.Counts[i], rng.New(sc.Seed))
-		return varbench.Run(env, c, sc.vbOptions()).MaxBreakdown()
+		spec := EnvSpec{Kind: platform.KindContainers, Units: res.Counts[i]}
+		return sc.cachedCell(spec, platform.PaperMachine, c, digest, sc.vbOptions()).MaxBreakdown()
 	})
 	res.Max = maxes
 	return res

@@ -76,21 +76,37 @@ func RunInterference(sc Scale, plan fault.Plan) InterferenceResult {
 		panic(err)
 	}
 	c, _ := sc.GenerateCorpus()
+	digest := sc.corpusDigest(c)
+	before := sc.cacheSnapshot()
 	envs := interferenceEnvs()
 	machine := platform.PaperMachine
 
 	var jobs []runner.Job[InterferenceRow]
 	for _, env := range envs {
 		env := env
+		// The job key — and so the cell's derived seed — is deliberately
+		// plan-free: the same environment always simulates under the same
+		// seed, so its clean baseline is one cache entry shared by every
+		// plan ever dosed over the grid. The plans themselves stay distinct
+		// in the cache through the fault signature in the value key.
 		jobs = append(jobs, runner.Job[InterferenceRow]{
-			Key: fmt.Sprintf("interference/%s/fault=%s", env, plan.Sig()),
+			Key: fmt.Sprintf("interference/%s", env),
 			Run: func(seed uint64) InterferenceRow {
+				// The clean and dosed halves of the pair are cached as
+				// separate entries (distinct fault signatures), so dosing a
+				// different plan over the same grid reuses every baseline.
 				run := func(p *fault.Plan) *varbench.Result {
-					eng := sim.NewEngine()
 					opts := sc.vbOptions()
 					opts.Seed = seed
 					opts.Faults = p
-					return varbench.Run(env.Build(eng, machine, seed), c, opts)
+					fresh := func() *varbench.Result {
+						return varbench.Run(env.Build(sim.NewEngine(), machine, seed), c, opts)
+					}
+					if sc.Cache == nil {
+						return fresh()
+					}
+					key := varbenchKey(env, machine, opts, faultSigOf(p), digest, seed)
+					return cachedVarbench(sc.Cache, sc.CacheVerify, key, fresh)
 				}
 				base := pooledLatencies(run(nil))
 				faulted := run(&plan)
@@ -118,6 +134,7 @@ func RunInterference(sc Scale, plan fault.Plan) InterferenceResult {
 		})
 	}
 	rows, m := runner.Sweep(sc.Seed, sc.Parallel, jobs)
+	fillCacheMetrics(&m, sc.Cache, before)
 	return InterferenceResult{Plan: plan.Name, Rows: rows, Par: m}
 }
 

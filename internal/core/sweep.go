@@ -106,6 +106,14 @@ type SweepResult struct {
 // simulations across Scale.Parallel workers. The output is bit-identical
 // for every worker count: job order fixes the merge order and per-key seed
 // derivation fixes each run's randomness.
+//
+// With Scale.Cache set (and Trace off — live tracers are not
+// serializable), each worker consults the content-addressed store before
+// simulating and writes through after, so an interrupted sweep resumes
+// executing only the missing cells and a repeated sweep is served entirely
+// from cache. The cell's trial number is not part of the cache key: the
+// derived seed is the cell's entire randomness, so a cell is addressed by
+// exactly the inputs that determine its bits.
 func RunSweep(o SweepOptions) SweepResult {
 	if o.Machine.Cores == 0 {
 		o.Machine = platform.PaperMachine
@@ -118,6 +126,15 @@ func RunSweep(o SweepOptions) SweepResult {
 	if c == nil {
 		c, _ = o.Scale.GenerateCorpus()
 	}
+	cache := o.Scale.Cache
+	if o.Trace {
+		cache = nil
+	}
+	digest := ""
+	if cache != nil {
+		digest = o.Scale.corpusDigest(c)
+	}
+	before := o.Scale.cacheSnapshot()
 	var jobs []runner.Job[SweepRun]
 	for _, env := range o.Envs {
 		env := env
@@ -132,19 +149,31 @@ func RunSweep(o SweepOptions) SweepResult {
 			jobs = append(jobs, runner.Job[SweepRun]{
 				Key: runner.SweepKey(envKey, t),
 				Run: func(seed uint64) SweepRun {
-					eng := sim.NewEngine()
-					opts := o.Scale.vbOptions()
-					opts.Seed = seed
-					if o.Trace {
-						opts.Trace = &trace.Options{}
+					fresh := func() *varbench.Result {
+						eng := sim.NewEngine()
+						opts := o.Scale.vbOptions()
+						opts.Seed = seed
+						if o.Trace {
+							opts.Trace = &trace.Options{}
+						}
+						opts.Faults = o.Faults
+						return varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
 					}
-					opts.Faults = o.Faults
-					res := varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
+					var res *varbench.Result
+					if cache != nil {
+						opts := o.Scale.vbOptions()
+						opts.Seed = seed
+						key := varbenchKey(env, o.Machine, opts, faultSig, digest, seed)
+						res = cachedVarbench(cache, o.Scale.CacheVerify, key, fresh)
+					} else {
+						res = fresh()
+					}
 					return SweepRun{Env: env, Trial: t, FaultSig: faultSig, Seed: seed, Res: res}
 				},
 			})
 		}
 	}
 	runs, m := runner.Sweep(o.Scale.Seed, o.Scale.Parallel, jobs)
+	fillCacheMetrics(&m, cache, before)
 	return SweepResult{Runs: runs, Par: m}
 }

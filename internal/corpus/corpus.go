@@ -1,13 +1,3 @@
-// Package corpus defines system-call programs — the unit of workload the
-// paper's methodology deploys — together with a deterministic text format
-// (a "syzlang-lite") and a runner that executes programs on a simulated
-// kernel call-by-call.
-//
-// A program is a short sequence of syscalls with fixed arguments; arguments
-// may reference the result of an earlier call (Syzkaller-style resource
-// wiring, e.g. a read using the fd an open returned). Each call site is a
-// stable measurement point: the paper tabulates latency distributions per
-// (program, position) pair across cores and iterations.
 package corpus
 
 import (

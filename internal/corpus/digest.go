@@ -1,0 +1,21 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"ksa/internal/syscalls"
+)
+
+// Digest returns the corpus's canonical content digest: the hex SHA-256 of
+// its text encoding. Two corpora digest equal iff they serialize to the
+// same programs, so the digest is the corpus component of a result-cache
+// key — regenerating an identical corpus from the same fuzzer seed, or
+// loading the same corpus file, addresses the same cached results.
+func Digest(c *Corpus, tab *syscalls.Table) string {
+	h := sha256.New()
+	// WriteText only fails when the underlying writer does; sha256 never
+	// does.
+	_ = WriteText(h, c, tab)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,17 @@
+// Package corpus defines system-call programs — the unit of workload the
+// paper's methodology deploys — together with a deterministic text format
+// (a "syzlang-lite") and a runner that executes programs on a simulated
+// kernel call-by-call.
+//
+// A program is a short sequence of syscalls with fixed arguments; arguments
+// may reference the result of an earlier call (Syzkaller-style resource
+// wiring, e.g. a read using the fd an open returned). Each call site is a
+// stable measurement point: the paper tabulates latency distributions per
+// (program, position) pair across cores and iterations.
+//
+// The text format is canonical — WriteText renders a corpus to a unique
+// byte sequence — which gives the corpus a stable identity: Digest hashes
+// that rendering, and the result cache (internal/resultcache) folds the
+// digest into every cache key so editing a single program invalidates
+// exactly the entries computed from the edited corpus.
+package corpus

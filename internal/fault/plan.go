@@ -1,18 +1,3 @@
-// Package fault injects deterministic, seeded interference into simulated
-// kernels the way real Linux noise perturbs syscall tails: lock-holder
-// preemption (an injected holder keeps a named kernel lock for a sampled
-// duration), background-daemon storms (kswapd/writeback-style sweeps that
-// grab a whole class of locks in order), timer-interrupt jitter dosed onto
-// on-CPU slices, and IPI/TLB-shootdown broadcasts that charge every core
-// handler debt.
-//
-// A Plan is a small scenario DSL — which injectors, against which resource
-// class, how often, how big — with a canonical text encoding so plans can
-// round-trip through flags and job keys. All randomness comes from an
-// rng.Source the caller derives from the experiment seed, so serial and
-// parallel runs of the same plan are bit-identical. Every injected event is
-// tagged through internal/trace, letting blame decomposition separate
-// *injected* from *emergent* wait time.
 package fault
 
 import (

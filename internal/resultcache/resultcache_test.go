@@ -1,0 +1,276 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testKey(seed uint64) Key {
+	return Key{
+		Salt: CodeVersion, Kind: "varbench", Env: "kvm-8@64c32g",
+		Opts: "iters=20 warmup=2 hop=2000 skew=8000",
+		FaultSig: "", Corpus: "deadbeef", Seed: seed,
+	}
+}
+
+func openTest(t *testing.T) (*Store, *bytes.Buffer) {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	st.SetLog(&log)
+	return st, &log
+}
+
+// entryPath mirrors the store's layout so tests can damage entries on
+// disk.
+func entryPath(st *Store, k Key) string {
+	h := k.Hash()
+	return filepath.Join(st.Dir(), h[:2], h+".ksar")
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, log := openTest(t)
+	k := testKey(1)
+	payload := []byte("the result bytes")
+	if _, ok := st.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := st.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	s := st.Stats()
+	want := Stats{Hits: 1, Misses: 1, Puts: 1,
+		BytesRead: int64(len(payload)), BytesWritten: int64(len(payload))}
+	if s != want {
+		t.Fatalf("stats %+v, want %+v", s, want)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("unexpected warnings: %s", log.String())
+	}
+}
+
+func TestKeyCanonicalAndHash(t *testing.T) {
+	base := testKey(1)
+	if base.Hash() != testKey(1).Hash() {
+		t.Fatal("equal keys hash differently")
+	}
+	variants := []Key{
+		{Salt: "other", Kind: base.Kind, Env: base.Env, Opts: base.Opts, Corpus: base.Corpus, Seed: base.Seed},
+		{Salt: base.Salt, Kind: "cluster", Env: base.Env, Opts: base.Opts, Corpus: base.Corpus, Seed: base.Seed},
+		{Salt: base.Salt, Kind: base.Kind, Env: "docker-64@64c32g", Opts: base.Opts, Corpus: base.Corpus, Seed: base.Seed},
+		{Salt: base.Salt, Kind: base.Kind, Env: base.Env, Opts: "iters=21 warmup=2 hop=2000 skew=8000", Corpus: base.Corpus, Seed: base.Seed},
+		{Salt: base.Salt, Kind: base.Kind, Env: base.Env, Opts: base.Opts, FaultSig: "mixed-0001", Corpus: base.Corpus, Seed: base.Seed},
+		{Salt: base.Salt, Kind: base.Kind, Env: base.Env, Opts: base.Opts, Corpus: "cafe", Seed: base.Seed},
+		testKey(2),
+	}
+	seen := map[string]bool{base.Hash(): true}
+	for i, v := range variants {
+		h := v.Hash()
+		if seen[h] {
+			t.Fatalf("variant %d (%+v) collides", i, v)
+		}
+		seen[h] = true
+	}
+	// The canonical form must carry every component, one per labeled line.
+	canon := base.Canonical()
+	for _, label := range []string{"salt=", "kind=", "env=", "opts=", "fault=", "corpus=", "seed="} {
+		if !strings.Contains(canon, label) {
+			t.Fatalf("canonical form %q missing %q", canon, label)
+		}
+	}
+}
+
+// damage applies fn to the entry's raw bytes and writes them back.
+func damage(t *testing.T, path string, fn func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	payload := []byte("bytes that will be damaged")
+	cases := []struct {
+		name string
+		fn   func([]byte) []byte
+		warn string
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:10] }, "truncated header"},
+		{"truncated-body", func(b []byte) []byte { return b[:len(b)-5] }, "truncated body"},
+		{"payload-bit-flip", func(b []byte) []byte { b[len(b)-3] ^= 0x40; return b }, "checksum mismatch"},
+		{"version-bump", func(b []byte) []byte { b[4] = entryVersion + 1; return b }, "entry format version"},
+		{"bad-magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"empty-file", func([]byte) []byte { return nil }, "truncated header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, log := openTest(t)
+			k := testKey(42)
+			if err := st.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			damage(t, entryPath(st, k), tc.fn)
+			if got, ok := st.Get(k); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if !strings.Contains(log.String(), tc.warn) {
+				t.Fatalf("warning %q does not mention %q", log.String(), tc.warn)
+			}
+			// The recompute path overwrites the bad entry; the next Get is a
+			// clean hit again.
+			if err := st.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := st.Get(k)
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatal("entry not recoverable by overwrite")
+			}
+			if s := st.Stats(); s.Hits != 1 || s.Misses != 1 {
+				t.Fatalf("stats %+v, want 1 hit / 1 miss", s)
+			}
+		})
+	}
+}
+
+func TestKeyCollisionDetected(t *testing.T) {
+	st, log := openTest(t)
+	a, b := testKey(1), testKey(2)
+	if err := st.Put(a, []byte("a's result")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an address collision: b's entry file holds a's canonical
+	// key. The store must refuse to serve it.
+	if err := os.MkdirAll(filepath.Dir(entryPath(st, b)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(entryPath(st, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath(st, b), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(b); ok {
+		t.Fatal("entry with mismatched canonical key served")
+	}
+	if !strings.Contains(log.String(), "key collision") {
+		t.Fatalf("warning %q does not mention key collision", log.String())
+	}
+}
+
+func TestCorruptReclassifiesHit(t *testing.T) {
+	st, log := openTest(t)
+	k := testKey(9)
+	st.Put(k, []byte("valid at the store layer, undecodable above"))
+	if _, ok := st.Get(k); !ok {
+		t.Fatal("expected hit")
+	}
+	st.Corrupt(k, fmt.Errorf("codec: result format version 99"))
+	if s := st.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want reclassified 0 hits / 1 miss", s)
+	}
+	if !strings.Contains(log.String(), "undecodable") {
+		t.Fatalf("warning %q does not mention undecodable", log.String())
+	}
+}
+
+func TestStatsStringPinsHitRateFormat(t *testing.T) {
+	// CI greps ksaexp output for "(100.0% hits)" to assert a fully warmed
+	// cache; this test pins that format.
+	s := Stats{Hits: 20, BytesRead: 1536}
+	if got := s.String(); !strings.Contains(got, "(100.0% hits)") {
+		t.Fatalf("Stats.String() = %q, want it to contain \"(100.0%% hits)\"", got)
+	}
+	if got := (Stats{Misses: 3, BytesWritten: 10}).String(); !strings.Contains(got, "(0.0% hits)") {
+		t.Fatalf("Stats.String() = %q, want 0.0%% hits", got)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Hits: 10, Misses: 4, Puts: 4, BytesRead: 100, BytesWritten: 40}
+	b := Stats{Hits: 13, Misses: 5, Puts: 5, BytesRead: 130, BytesWritten: 50}
+	d := b.Sub(a)
+	if d != (Stats{Hits: 3, Misses: 1, Puts: 1, BytesRead: 30, BytesWritten: 10}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.Lookups() != 4 {
+		t.Fatalf("Lookups = %d", d.Lookups())
+	}
+	if r := d.HitRate(); r != 0.75 {
+		t.Fatalf("HitRate = %v", r)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	st, log := openTest(t)
+	const n = 32
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := testKey(uint64(g % 4))
+			payload := []byte(fmt.Sprintf("result for seed %d", g%4))
+			st.Get(k)
+			st.Put(k, payload)
+			if got, ok := st.Get(k); !ok || !bytes.Equal(got, payload) {
+				t.Errorf("goroutine %d: Get = %q, %v", g, got, ok)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := st.Stats(); s.Puts != n || s.Hits < n {
+		t.Fatalf("stats %+v, want %d puts and >= %d hits", s, n, n)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("unexpected warnings: %s", log.String())
+	}
+}
+
+func TestNoTornEntriesAfterRename(t *testing.T) {
+	// Every file under the store after a batch of Puts must parse: Put is
+	// temp-file + rename, so a reader never observes a partial entry.
+	st, _ := openTest(t)
+	for i := 0; i < 8; i++ {
+		st.Put(testKey(uint64(i)), bytes.Repeat([]byte{byte(i)}, 1000))
+	}
+	var files int
+	err := filepath.Walk(st.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(filepath.Base(path), "tmp-") {
+			return fmt.Errorf("leftover temp file %s", path)
+		}
+		files++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 8 {
+		t.Fatalf("%d entry files, want 8", files)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

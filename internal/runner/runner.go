@@ -1,19 +1,3 @@
-// Package runner fans independent simulation jobs across OS threads and
-// merges their results deterministically. Every sim.Engine is a
-// single-threaded virtual-time world with no shared mutable state, so a
-// sweep of N configurations (environment × corpus × seed trial) is
-// embarrassingly parallel — the only discipline required is that
-// parallelism must never leak into the results:
-//
-//   - Results are ordered by job position (the caller-built job list, i.e.
-//     job-key order), never by completion order.
-//   - Each job's randomness is derived by hashing its key into the root
-//     seed (DeriveSeed), not drawn from a shared stream, so adding workers,
-//     adding jobs, or reordering submissions cannot change any job's seed.
-//
-// Under those two rules a sweep at -parallel 8 is bit-identical to the
-// serial one; parallelism only changes wall-clock time. Metrics records
-// per-job wall time and queue wait so the speedup is observable.
 package runner
 
 import (
@@ -79,6 +63,15 @@ type Metrics struct {
 	// QueueWait[i] is how long job i sat queued before a worker picked it
 	// up, measured from the fan-out's start.
 	QueueWait []time.Duration
+
+	// Result-cache accounting, filled by orchestrators whose jobs consult
+	// the content-addressed store (internal/resultcache): how many jobs
+	// were served from cache vs simulated, and the payload bytes moved.
+	// All zero for uncached fan-outs.
+	CacheHits         int
+	CacheMisses       int
+	CacheBytesRead    int64
+	CacheBytesWritten int64
 }
 
 // Busy is the summed per-job execution time — the serial-equivalent cost.
@@ -110,11 +103,16 @@ func (m Metrics) MaxQueueWait() time.Duration {
 	return w
 }
 
-// String summarizes the fan-out for CLI output.
+// String summarizes the fan-out for CLI output, including cache
+// effectiveness when any job touched the result store.
 func (m Metrics) String() string {
-	return fmt.Sprintf("runner[%d jobs on %d workers: wall %v, busy %v, speedup %.2fx, max queue wait %v]",
+	cache := ""
+	if m.CacheHits+m.CacheMisses > 0 {
+		cache = fmt.Sprintf(", cache %d/%d hits", m.CacheHits, m.CacheHits+m.CacheMisses)
+	}
+	return fmt.Sprintf("runner[%d jobs on %d workers: wall %v, busy %v, speedup %.2fx, max queue wait %v%s]",
 		m.Jobs, m.Workers, m.Wall.Round(time.Millisecond), m.Busy().Round(time.Millisecond),
-		m.Speedup(), m.MaxQueueWait().Round(time.Millisecond))
+		m.Speedup(), m.MaxQueueWait().Round(time.Millisecond), cache)
 }
 
 // Run executes fn(0), …, fn(n-1) on up to workers goroutines (0 =

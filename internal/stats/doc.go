@@ -1,0 +1,16 @@
+// Package stats provides the statistical machinery the paper's analysis
+// relies on: exact quantiles over latency samples, the decade-bucket
+// breakdowns of Tables 2 and 3, and the violin summaries of Figure 2.
+//
+// Latencies are carried as float64 microseconds, matching the units the
+// paper reports (1µs / 10µs / 100µs / 1ms / 10ms buckets).
+//
+// Order statistics (Quantile, Median, P99, Min, Max and the sorted Values
+// view) are exact and depend only on the multiset of observations, not on
+// insertion order. Downstream layers lean on that: the result-cache codec
+// serializes samples in sorted (canonical) order, and every statistic a
+// cached experiment reports is an order statistic, which is why a cache
+// round-trip reproduces published tables bit-for-bit. Mean and Stddev are
+// the one insertion-order-sensitive pair (float accumulation order); they
+// are used only by the uncached tailbench path.
+package stats

@@ -1,9 +1,3 @@
-// Package stats provides the statistical machinery the paper's analysis
-// relies on: exact quantiles over latency samples, the decade-bucket
-// breakdowns of Tables 2 and 3, and the violin summaries of Figure 2.
-//
-// Latencies are carried as float64 microseconds, matching the units the
-// paper reports (1µs / 10µs / 100µs / 1ms / 10ms buckets).
 package stats
 
 import (

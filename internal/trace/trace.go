@@ -1,17 +1,3 @@
-// Package trace is the kernel event-tracing and blame-attribution
-// subsystem. A Tracer attaches to one simulated kernel and records typed
-// events — lock acquire/wait/hold, housekeeping bursts and their victim
-// cores, IPI broadcasts and dispatch serialization, journal commits (via
-// the journal lock), block I/O queueing, VM exits — into a bounded
-// ftrace-style ring buffer, aggregates per-lock wait/hold histograms, and
-// decomposes the wall time of every over-threshold task into its
-// contributing mechanisms, naming the dominant one.
-//
-// Tracing is strictly observational: hooks never draw randomness, never
-// schedule events, and never touch windowed kernel state, so attaching a
-// tracer cannot change any virtual-time result (the determinism guard in
-// internal/varbench asserts this bit-for-bit). With no tracer attached the
-// kernel's hook sites reduce to a nil check.
 package trace
 
 import (

@@ -99,6 +99,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Fingerprint renders the result-shaping harness knobs canonically, with
+// defaults applied — the options component of a result-cache key. Seed,
+// Trace, and Faults are deliberately excluded: the seed is its own key
+// component, tracing is observational (and traced runs bypass the cache —
+// a Result's live Tracers are not serializable), and the fault plan is
+// keyed by its signature.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("iters=%d warmup=%d hop=%d skew=%d",
+		o.Iterations, o.Warmup, int64(o.BarrierHop), int64(o.ReleaseSkewMean))
+}
+
 // Site identifies one call site: a (program, call index) pair.
 type Site struct {
 	Program int
@@ -126,6 +138,21 @@ type Result struct {
 
 	index     map[Site]int
 	labelSite map[string]Site
+}
+
+// NewResult reassembles a Result from its serialized parts (the
+// resultcache codec's constructor), rebuilding the site index. Decoded
+// results carry no tracers and no label map: only untraced runs are
+// cached.
+func NewResult(env string, cores, iterations int, sites []SiteResult) *Result {
+	r := &Result{
+		Env: env, Cores: cores, Iterations: iterations, Sites: sites,
+		index: make(map[Site]int, len(sites)),
+	}
+	for i, sr := range sites {
+		r.index[sr.Site] = i
+	}
+	return r
 }
 
 // SiteSample returns the sample for a call site, or nil.

@@ -31,6 +31,7 @@ import (
 	"ksa/internal/fault"
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
+	"ksa/internal/resultcache"
 	"ksa/internal/rng"
 	"ksa/internal/runner"
 	"ksa/internal/sim"
@@ -104,6 +105,13 @@ type (
 	InterferenceResult = core.InterferenceResult
 	// InterferenceRow is one environment's amplification under a plan.
 	InterferenceRow = core.InterferenceRow
+	// ResultCache is the content-addressed, disk-backed store for
+	// deterministic results (set Scale.Cache / SweepOptions via Scale).
+	ResultCache = resultcache.Store
+	// CacheStats is a snapshot of a result cache's hit/miss/bytes counters.
+	CacheStats = resultcache.Stats
+	// CacheKey identifies one cached result by its complete input set.
+	CacheKey = resultcache.Key
 )
 
 // Environment kinds.
@@ -176,6 +184,27 @@ func NewContainerEnvironment(eng *Engine, m Machine, n int, seed uint64) *Enviro
 // distributions.
 func RunVarbench(env *Environment, c *Corpus, opts VarbenchOptions) *VarbenchResult {
 	return varbench.Run(env, c, opts)
+}
+
+// OpenResultCache opens (creating if needed) the content-addressed result
+// store rooted at dir. Deterministic runs are memoized in it: set it as
+// Scale.Cache or pass it to RunVarbenchCached, and repeated or interrupted
+// experiments reuse every cell whose inputs are unchanged.
+func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
+
+// CacheCodeVersion is the code-version salt mixed into every cache key;
+// bumping it (done whenever a change alters simulation bits) invalidates
+// all prior entries by construction.
+const CacheCodeVersion = resultcache.CodeVersion
+
+// RunVarbenchCached is RunVarbench through the result cache: the
+// environment is built from its spec with opts.Seed, the cache is
+// consulted before simulating, and fresh results are written through.
+// cache may be nil (plain run); verify recomputes every hit and asserts
+// byte-equality with the stored entry. Traced runs bypass the cache.
+func RunVarbenchCached(cache *ResultCache, verify bool, spec EnvSpec, m Machine,
+	c *Corpus, opts VarbenchOptions) *VarbenchResult {
+	return core.RunVarbenchCached(cache, verify, spec, m, c, opts)
 }
 
 // RunBlame deploys the corpus at this scale on the chosen environment with

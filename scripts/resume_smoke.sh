@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Resume-under-kill smoke: a cached interference sweep killed partway
+# through must, on rerun, pick up its partial cache and still produce a CSV
+# byte-identical to an uninterrupted, uncached run.
+#
+# Usage: scripts/resume_smoke.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+cache="$work/cache"
+bin="$work/ksaexp"
+
+echo "== resume smoke in $work"
+go build -o "$bin" ./cmd/ksaexp
+
+# Ground truth: the full experiment, no cache.
+mkdir -p "$work/uncached" "$work/resumed"
+"$bin" -exp interference -scale quick -csv "$work/uncached" >"$work/uncached.txt"
+
+# Time an uninterrupted *cold cached* run so the kill lands mid-grid.
+rm -rf "$cache"
+start=$(date +%s%N)
+"$bin" -exp interference -scale quick -cache "$cache" >/dev/null
+cold_ns=$(( $(date +%s%N) - start ))
+echo "== cold cached run: $(( cold_ns / 1000000 )) ms"
+
+# Interrupted run: SIGKILL at ~50% of the cold wall time. No cleanup, no
+# signal handler — whatever cells were finished must already be durable.
+rm -rf "$cache"
+"$bin" -exp interference -scale quick -cache "$cache" >/dev/null 2>&1 &
+pid=$!
+sleep "$(awk -v ns="$cold_ns" 'BEGIN { printf "%.3f", ns / 2e9 }')"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+entries=$(find "$cache" -name '*.ksar' | wc -l)
+echo "== killed at ~50%: $entries cells survived"
+
+# Resume: the rerun must complete from the partial cache...
+"$bin" -exp interference -scale quick -cache "$cache" -csv "$work/resumed" >"$work/resumed.txt"
+grep -o 'cache: [0-9]* hits, [0-9]* misses[^,]*' "$work/resumed.txt"
+
+# ...and the output must be byte-identical to the uncached ground truth.
+cmp "$work/uncached/interference.csv" "$work/resumed/interference.csv"
+# The rendered table too (everything above the wall-time/cache footer).
+diff <(grep -v '^\[' "$work/uncached.txt") <(grep -v '^\[' "$work/resumed.txt")
+
+# A second resumed run must be fully warm.
+"$bin" -exp interference -scale quick -cache "$cache" >"$work/warm.txt"
+grep -q '(100.0% hits)' "$work/warm.txt"
+
+echo "== resume smoke OK: resumed CSV byte-identical, warm rerun 100% hits"
