@@ -4,7 +4,7 @@
 //
 //	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
 //	       [-seed N] [-parallel N] [-cache dir|off] [-cache-verify]
-//	       [-trace] [-fault name|list]
+//	       [-trace] [-fault name|list] [-remote url]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
@@ -18,9 +18,14 @@
 // resumes executing only the missing cells, with byte-identical tables and
 // CSV either way. -cache-verify recomputes every hit and asserts
 // byte-equality with the stored entry (a standing bit-identity audit).
+//
+// -remote submits the selected experiments to a running ksad daemon
+// instead of executing locally: each becomes a job on the daemon's shared
+// pool and the rendered output comes back byte-identical to a local run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +45,7 @@ func main() {
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and assert byte-equality with the stored entry")
 	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
 	faultName := flag.String("fault", "mixed", "interference plan for -exp interference: a preset name, or 'list' to print the presets and exit")
+	remote := flag.String("remote", "", "ksad base URL (e.g. http://127.0.0.1:7077): submit the selected experiments as daemon jobs instead of running locally")
 	flag.Parse()
 
 	if *faultName == "list" {
@@ -99,6 +105,11 @@ func main() {
 		want["blame"] = true
 	}
 	all := want["all"]
+
+	if *remote != "" {
+		runRemote(*remote, want, all, *scaleName, *seed, *faultName, *csvDir, *cacheDir, *cacheVerify)
+		return
+	}
 	ran := 0
 	run := func(name string, fn func()) {
 		if !all && !want[name] {
@@ -197,5 +208,60 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "ksaexp: nothing selected by -exp %q\n", *exps)
 		os.Exit(2)
+	}
+}
+
+// runRemote submits the selected experiments as jobs to a ksad daemon,
+// follows each job's event stream, and prints the rendered output — which
+// is byte-identical to what the same flags would produce locally.
+func runRemote(base string, want map[string]bool, all bool, scaleName string,
+	seed uint64, faultName, csvDir, cacheDir string, cacheVerify bool) {
+	if csvDir != "" || cacheDir != "" || cacheVerify {
+		fmt.Fprintln(os.Stderr, "ksaexp: -csv/-cache/-cache-verify are local-only; the daemon owns its cache (start ksad with -cache)")
+		os.Exit(2)
+	}
+	if want["blame"] {
+		fmt.Fprintln(os.Stderr, "ksaexp: blame is local-only (live tracers do not serialize); run it without -remote")
+		os.Exit(2)
+	}
+	// "all" matches the local meaning: the paper set, extensions opt-in.
+	paper := map[string]bool{"table1": true, "table2": true, "fig2": true,
+		"table3": true, "fig3": true, "fig4": true}
+	var names []string
+	for _, name := range ksa.ExperimentNames() {
+		if want[name] || (all && paper[name]) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "ksaexp: nothing selected to run remotely")
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	cl := &ksa.DaemonClient{Base: base}
+	for _, name := range names {
+		spec := ksa.JobSpec{Type: "experiment", Exp: name, Scale: scaleName, Seed: seed}
+		if name == "interference" {
+			spec.Fault = faultName
+		}
+		t0 := time.Now()
+		info, err := cl.Submit(ctx, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksaexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ksaexp: %s submitted as %s\n", name, info.ID)
+		info, err = cl.Wait(ctx, info.ID, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksaexp:", err)
+			os.Exit(1)
+		}
+		if info.State != "done" {
+			fmt.Fprintf(os.Stderr, "ksaexp: %s %s: %s\n", info.ID, info.State, info.Error)
+			os.Exit(1)
+		}
+		fmt.Println(info.Result.Rendered)
+		fmt.Printf("[%s finished in %v via %s]\n\n", name, time.Since(t0).Round(time.Millisecond), base)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,9 +68,16 @@ func ablationVariants() []ablationVariant {
 
 // RunAblation executes the ablation study at the given scale.
 func RunAblation(sc Scale) AblationResult {
+	res, _ := RunAblationContext(context.Background(), sc)
+	return res
+}
+
+// RunAblationContext is RunAblation with cancellation (see
+// RunTable2Context).
+func RunAblationContext(ctx context.Context, sc Scale) (AblationResult, error) {
 	c, _ := sc.GenerateCorpus()
 	variants := ablationVariants()
-	rows, _ := runner.Map(len(variants), sc.Parallel, func(i int) AblationRow {
+	rows, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(variants), func(i int) AblationRow {
 		v := variants[i]
 		par := kernel.DefaultParams(platform.PaperMachine.Cores, platform.PaperMachine.MemGB)
 		v.mut(&par)
@@ -91,7 +99,10 @@ func RunAblation(sc Scale) AblationResult {
 			MaxOver10ms: 100 - max.Under[4],
 		}
 	})
-	return AblationResult{Rows: rows}
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Rows: rows}, nil
 }
 
 // Render formats the ablation table.

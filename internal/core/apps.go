@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,15 +37,24 @@ type Figure3Result struct {
 // latency for every tailbench application, isolated and with a co-running
 // 48-core syscall corpus, on KVM and Docker.
 func RunFigure3(sc Scale) Figure3Result {
+	res, _ := RunFigure3Context(context.Background(), sc)
+	return res
+}
+
+// RunFigure3Context is RunFigure3 with cancellation (see RunTable2Context).
+func RunFigure3Context(ctx context.Context, sc Scale) (Figure3Result, error) {
 	noise := sc.noiseCorpus()
 	srv := tailbench.ServerOptions{
 		Util: 0.75, Warmup: sc.ServerWarmup, Measure: sc.ServerMeasure, Seed: sc.Seed,
 	}
 	apps := tailbench.Apps()
-	rows, _ := runner.Map(len(apps), sc.Parallel, func(i int) tailbench.Fig3Row {
+	rows, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(apps), func(i int) tailbench.Fig3Row {
 		return tailbench.RunFig3App(apps[i], noise, srv, sc.Seed)
 	})
-	return Figure3Result{Rows: rows}
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	return Figure3Result{Rows: rows}, nil
 }
 
 // Render formats the three Figure 3 panels.
@@ -102,6 +112,12 @@ func Fig4Apps() []string {
 // RunFigure4 reproduces Figure 4: 64-node BSP runtimes for the cluster
 // applications, isolated and contended, on KVM and Docker.
 func RunFigure4(sc Scale) Figure4Result {
+	res, _ := RunFigure4Context(context.Background(), sc)
+	return res
+}
+
+// RunFigure4Context is RunFigure4 with cancellation (see RunTable2Context).
+func RunFigure4Context(ctx context.Context, sc Scale) (Figure4Result, error) {
 	noise := sc.noiseCorpus()
 	noiseDigest := sc.corpusDigest(noise)
 	apps := Fig4Apps()
@@ -121,7 +137,7 @@ func RunFigure4(sc Scale) Figure4Result {
 			cells = append(cells, cell{name, kind, false}, cell{name, kind, true})
 		}
 	}
-	runtimes, _ := runner.Map(len(cells), sc.Parallel, func(i int) float64 {
+	runtimes, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(cells), func(i int) float64 {
 		cl := cells[i]
 		r := cachedCluster(sc.Cache, sc.CacheVerify, cluster.Config{
 			App: tailbench.AppByName(cl.app), Kind: cl.kind, Contended: cl.cont,
@@ -130,6 +146,9 @@ func RunFigure4(sc Scale) Figure4Result {
 		}, noiseDigest)
 		return r.Runtime.Millis()
 	})
+	if err != nil {
+		return Figure4Result{}, err
+	}
 	var out Figure4Result
 	for ai, name := range apps {
 		base := ai * 4 // cells are app-major: kvm-iso, kvm-cont, docker-iso, docker-cont
@@ -145,7 +164,7 @@ func RunFigure4(sc Scale) Figure4Result {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // Render formats the three Figure 4 panels.

@@ -55,8 +55,16 @@ func varbenchKey(env EnvSpec, m platform.Machine, opts varbench.Options,
 // byte-equal to the stored entry.
 func cachedVarbench(st *resultcache.Store, verify bool, key resultcache.Key,
 	fresh func() *varbench.Result) *varbench.Result {
+	res, _ := cachedVarbenchHit(st, verify, key, fresh)
+	return res
+}
+
+// cachedVarbenchHit is cachedVarbench plus whether the result was served
+// from the store (the per-cell signal progress events carry).
+func cachedVarbenchHit(st *resultcache.Store, verify bool, key resultcache.Key,
+	fresh func() *varbench.Result) (*varbench.Result, bool) {
 	if st == nil {
-		return fresh()
+		return fresh(), false
 	}
 	if payload, ok := st.Get(key); ok {
 		res, err := codec.DecodeResult(payload)
@@ -64,13 +72,13 @@ func cachedVarbench(st *resultcache.Store, verify bool, key resultcache.Key,
 			if verify {
 				verifyHit(key, payload, codec.EncodeResult(fresh()))
 			}
-			return res
+			return res, true
 		}
 		st.Corrupt(key, err)
 	}
 	res := fresh()
 	st.Put(key, codec.EncodeResult(res))
-	return res
+	return res, false
 }
 
 // cachedCluster is cachedVarbench for cluster cells.

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,6 +49,17 @@ type Scale struct {
 	// encoding is byte-equal to the stored entry — a standing bit-identity
 	// audit (the -cache-verify flag).
 	CacheVerify bool
+
+	// Exec, when non-nil, is the executor every fan-out at this scale runs
+	// its cells on — typically a shared runner.Pool, so many concurrent
+	// experiments multiplex onto one fixed worker set (the daemon's mode).
+	// Nil falls back to an ephemeral Parallel-worker fan-out per call.
+	// Executors never change results: cells stay bit-identical regardless
+	// of where or in what order they run.
+	Exec runner.Executor
+	// Priority orders this scale's cells against other work on a shared
+	// executor (higher first). Ignored by the ephemeral fallback.
+	Priority int
 
 	// Corpus generation.
 	CorpusPrograms int
@@ -107,6 +119,15 @@ func (sc Scale) vbOptions() varbench.Options {
 	return varbench.Options{Iterations: sc.Iterations, Warmup: sc.Warmup, Seed: sc.Seed}
 }
 
+// exec resolves the executor fan-outs run on: the shared one when set,
+// otherwise an ephemeral inline fan-out over Parallel workers.
+func (sc Scale) exec() runner.Executor {
+	if sc.Exec != nil {
+		return sc.Exec
+	}
+	return runner.Inline{Workers: sc.Parallel}
+}
+
 // ---------------------------------------------------------------------------
 // Table 1
 
@@ -141,6 +162,14 @@ type Table2Result struct {
 // per-call-site latency on native Linux, 64 one-core KVM VMs, and 64
 // one-core Docker containers.
 func RunTable2(sc Scale) Table2Result {
+	res, _ := RunTable2Context(context.Background(), sc)
+	return res
+}
+
+// RunTable2Context is RunTable2 with cancellation: once ctx is done no new
+// cell starts, in-flight cells drain, and the partial result plus ctx's
+// error come back.
+func RunTable2Context(ctx context.Context, sc Scale) (Table2Result, error) {
 	c, _ := sc.GenerateCorpus()
 	digest := sc.corpusDigest(c)
 	res := Table2Result{CorpusCalls: c.NumCalls()}
@@ -152,16 +181,19 @@ func RunTable2(sc Scale) Table2Result {
 	// The three environments are independent simulations; fan them out and
 	// merge in environment order. Each cell is consulted against / written
 	// through the result cache when Scale.Cache is set.
-	runs, _ := runner.Map(len(envs), sc.Parallel, func(i int) *varbench.Result {
+	runs, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(envs), func(i int) *varbench.Result {
 		return sc.cachedCell(envs[i], platform.PaperMachine, c, digest, sc.vbOptions())
 	})
+	if err != nil {
+		return res, err
+	}
 	for _, r := range runs {
 		res.Envs = append(res.Envs, r.Env)
 		res.Median = append(res.Median, r.MedianBreakdown())
 		res.P99 = append(res.P99, r.P99Breakdown())
 		res.Max = append(res.Max, r.MaxBreakdown())
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the result in the paper's Table 2 layout.
@@ -195,6 +227,12 @@ type Figure2Result struct {
 // 99th percentiles across the Table 1 VM configurations, filtered (like the
 // paper) to call sites whose native median is at least 10µs.
 func RunFigure2(sc Scale) Figure2Result {
+	res, _ := RunFigure2Context(context.Background(), sc)
+	return res
+}
+
+// RunFigure2Context is RunFigure2 with cancellation (see RunTable2Context).
+func RunFigure2Context(ctx context.Context, sc Scale) (Figure2Result, error) {
 	c, _ := sc.GenerateCorpus()
 	digest := sc.corpusDigest(c)
 	opts := sc.vbOptions()
@@ -205,13 +243,16 @@ func RunFigure2(sc Scale) Figure2Result {
 	// native and kvm-64 cells address the same cache entries as Table 2's —
 	// cells are keyed by their inputs, not by the experiment asking.
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
-	runs, _ := runner.Map(1+len(counts), sc.Parallel, func(i int) *varbench.Result {
+	runs, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, 1+len(counts), func(i int) *varbench.Result {
 		spec := EnvSpec{Kind: platform.KindNative}
 		if i > 0 {
 			spec = EnvSpec{Kind: platform.KindVMs, Units: counts[i-1]}
 		}
 		return sc.cachedCell(spec, platform.PaperMachine, c, digest, opts)
 	})
+	if err != nil {
+		return Figure2Result{VMCounts: counts}, err
+	}
 	nat, results := runs[0], runs[1:]
 	include := func(s varbench.Site) bool {
 		smp := nat.SiteSample(s)
@@ -230,7 +271,7 @@ func RunFigure2(sc Scale) Figure2Result {
 		}
 		out.Violins = append(out.Violins, row)
 	}
-	return out
+	return out, nil
 }
 
 // Render formats the result as one violin table per category.
@@ -262,18 +303,27 @@ type Table3Result struct {
 // RunTable3 reproduces Table 3: worst-case latency breakdowns on Docker
 // with 1 to 64 containers.
 func RunTable3(sc Scale) Table3Result {
+	res, _ := RunTable3Context(context.Background(), sc)
+	return res
+}
+
+// RunTable3Context is RunTable3 with cancellation (see RunTable2Context).
+func RunTable3Context(ctx context.Context, sc Scale) (Table3Result, error) {
 	c, _ := sc.GenerateCorpus()
 	digest := sc.corpusDigest(c)
 	res := Table3Result{}
 	for n := 1; n <= 64; n *= 2 {
 		res.Counts = append(res.Counts, n)
 	}
-	maxes, _ := runner.Map(len(res.Counts), sc.Parallel, func(i int) stats.Breakdown {
+	maxes, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(res.Counts), func(i int) stats.Breakdown {
 		spec := EnvSpec{Kind: platform.KindContainers, Units: res.Counts[i]}
 		return sc.cachedCell(spec, platform.PaperMachine, c, digest, sc.vbOptions()).MaxBreakdown()
 	})
+	if err != nil {
+		return res, err
+	}
 	res.Max = maxes
-	return res
+	return res, nil
 }
 
 // Render formats the result in the paper's Table 3 layout.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,13 @@ type LightVMResult struct {
 // shedding most of the virtualization tax (isolated gap to Docker)? Runs
 // the Figure 3 scenario with a third substrate.
 func RunLightVMExtension(sc Scale) LightVMResult {
+	res, _ := RunLightVMExtensionContext(context.Background(), sc)
+	return res
+}
+
+// RunLightVMExtensionContext is RunLightVMExtension with cancellation (see
+// RunTable2Context).
+func RunLightVMExtensionContext(ctx context.Context, sc Scale) (LightVMResult, error) {
 	noise := sc.noiseCorpus()
 	srv := tailbench.ServerOptions{
 		Util: 0.75, Warmup: sc.ServerWarmup, Measure: sc.ServerMeasure, Seed: sc.Seed,
@@ -42,13 +50,16 @@ func RunLightVMExtension(sc Scale) LightVMResult {
 	// 5 apps × 3 substrates × {iso, cont} = 30 independent single-node
 	// simulations, fanned out and merged in grid order.
 	kinds := []platform.EnvKind{platform.KindContainers, platform.KindVMs, platform.KindLightVMs}
-	p99s, _ := runner.Map(len(apps)*len(kinds)*2, sc.Parallel, func(i int) float64 {
+	p99s, _, err := runner.MapOn(ctx, sc.exec(), sc.Priority, len(apps)*len(kinds)*2, func(i int) float64 {
 		app, rest := apps[i/(len(kinds)*2)], i%(len(kinds)*2)
 		return tailbench.RunSingleNode(tailbench.SingleNodeConfig{
 			Kind: kinds[rest/2], App: tailbench.AppByName(app), Contended: rest%2 == 1,
 			NoiseCorpus: noise, Server: srv, Seed: sc.Seed,
 		}).P99
 	})
+	if err != nil {
+		return LightVMResult{}, err
+	}
 	var out LightVMResult
 	for ai, name := range apps {
 		base := ai * len(kinds) * 2
@@ -68,7 +79,7 @@ func RunLightVMExtension(sc Scale) LightVMResult {
 		row.LightIncrease = pct(row.LightIso, row.LightCont)
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // Render formats the extension's two panels.

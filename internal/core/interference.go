@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,6 +73,14 @@ func pooledLatencies(r *varbench.Result) *stats.Sample {
 // injected interference. Cells fan out across Scale.Parallel workers with
 // per-key derived seeds; results are bit-identical at any worker count.
 func RunInterference(sc Scale, plan fault.Plan) InterferenceResult {
+	res, _ := RunInterferenceContext(context.Background(), sc, plan)
+	return res
+}
+
+// RunInterferenceContext is RunInterference with cancellation: once ctx is
+// done no new cell starts, in-flight cells drain (their pairs stay cached),
+// and the partial result plus ctx's error come back.
+func RunInterferenceContext(ctx context.Context, sc Scale, plan fault.Plan) (InterferenceResult, error) {
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
@@ -133,9 +142,13 @@ func RunInterference(sc Scale, plan fault.Plan) InterferenceResult {
 			},
 		})
 	}
-	rows, m := runner.Sweep(sc.Seed, sc.Parallel, jobs)
+	rows, m, err := runner.SweepOn(ctx, sc.exec(), sc.Priority, sc.Seed, jobs)
 	fillCacheMetrics(&m, sc.Cache, before)
-	return InterferenceResult{Plan: plan.Name, Rows: rows, Par: m}
+	res := InterferenceResult{Plan: plan.Name, Rows: rows, Par: m}
+	if err != nil {
+		res.Rows = rows[:m.Completed]
+	}
+	return res, err
 }
 
 // Render formats the ablation table.

@@ -1,0 +1,211 @@
+// Service-facing helpers: the pieces a long-running control plane (the
+// ksad daemon) needs from the experiment layer — parsing environment specs
+// received over the wire, rendering and fingerprinting sweep results,
+// probing whether a whole sweep is already answerable from the result
+// store, and dispatching named paper experiments under a context.
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ksa/internal/corpus"
+	"ksa/internal/fault"
+	"ksa/internal/platform"
+	"ksa/internal/report"
+	"ksa/internal/resultcache/codec"
+	"ksa/internal/runner"
+)
+
+// ParseEnvSpec parses the canonical environment-spec string form —
+// "native", "kvm-8", "docker-64", "lightvm-16" — the inverse of
+// EnvSpec.String. Unit counts must be positive; native takes none.
+func ParseEnvSpec(s string) (EnvSpec, error) {
+	if s == "native" {
+		return EnvSpec{Kind: platform.KindNative}, nil
+	}
+	name, units, ok := strings.Cut(s, "-")
+	var kind platform.EnvKind
+	switch name {
+	case "kvm":
+		kind = platform.KindVMs
+	case "docker":
+		kind = platform.KindContainers
+	case "lightvm":
+		kind = platform.KindLightVMs
+	default:
+		return EnvSpec{}, fmt.Errorf("unknown environment %q (want native, kvm-N, docker-N, or lightvm-N)", s)
+	}
+	if !ok {
+		return EnvSpec{}, fmt.Errorf("environment %q needs a unit count (e.g. %q)", s, s+"-8")
+	}
+	n, err := strconv.Atoi(units)
+	if err != nil || n <= 0 {
+		return EnvSpec{}, fmt.Errorf("environment %q: bad unit count %q", s, units)
+	}
+	return EnvSpec{Kind: kind, Units: n}, nil
+}
+
+// ParseEnvSpecs parses a list of spec strings, rejecting duplicates (two
+// identical specs would collide on job keys).
+func ParseEnvSpecs(specs []string) ([]EnvSpec, error) {
+	seen := map[string]bool{}
+	out := make([]EnvSpec, 0, len(specs))
+	for _, s := range specs {
+		e, err := ParseEnvSpec(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		if seen[e.String()] {
+			return nil, fmt.Errorf("duplicate environment %q", e)
+		}
+		seen[e.String()] = true
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Render formats the sweep as one pooled-latency summary row per cell, in
+// job-key order. The rendering is canonical: two bit-identical sweeps
+// render to identical bytes, so remote clients can diff it against a
+// local run.
+func (r SweepResult) Render() string {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Sweep: %d cell(s), pooled call latency (µs)", len(r.Runs)),
+		Headers: []string{"cell", "seed", "sites", "p50", "p99", "max"},
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	for _, run := range r.Runs {
+		if run.Res == nil {
+			continue
+		}
+		pool := pooledLatencies(run.Res)
+		t.AddRow(run.Key(), fmt.Sprintf("%#016x", run.Seed),
+			fmt.Sprintf("%d", len(run.Res.Sites)),
+			f(pool.Median()), f(pool.P99()), f(pool.Max()))
+	}
+	return t.String()
+}
+
+// Digest fingerprints the sweep's complete numeric content: the SHA-256
+// over every cell's canonical binary encoding, in job-key order. Two
+// sweeps are byte-identical iff their digests match — this is the value
+// the daemon reports so N concurrent clients (or a remote and a local
+// run) can assert bit-identity without shipping payloads around.
+func (r SweepResult) Digest() string {
+	h := sha256.New()
+	for _, run := range r.Runs {
+		fmt.Fprintf(h, "cell=%s seed=%#016x\n", run.Key(), run.Seed)
+		if run.Res != nil {
+			h.Write(codec.EncodeResult(run.Res))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SweepCached reports whether every cell of the sweep already has an
+// entry in the result store — the fast-path probe a service uses to
+// answer fully warmed jobs without occupying its worker pool. It returns
+// the corpus it generated (pass it back via SweepOptions.Corpus so the
+// serving run does not regenerate it). The probe uses existence checks
+// only and touches no counters; a corrupt entry discovered later simply
+// recomputes through the normal path. Always false for traced or
+// uncached sweeps.
+func SweepCached(o SweepOptions) (*corpus.Corpus, bool) {
+	cache := o.Scale.Cache
+	if cache == nil || o.Trace {
+		return o.Corpus, false
+	}
+	if o.Machine.Cores == 0 {
+		o.Machine = platform.PaperMachine
+	}
+	trials := o.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	c := o.Corpus
+	if c == nil {
+		c, _ = o.Scale.GenerateCorpus()
+	}
+	digest := o.Scale.corpusDigest(c)
+	faultSig := faultSigOf(o.Faults)
+	for _, env := range o.Envs {
+		envKey := env.String()
+		if faultSig != "" {
+			envKey += "/fault=" + faultSig
+		}
+		for t := 0; t < trials; t++ {
+			seed := runner.DeriveSeed(o.Scale.Seed, runner.SweepKey(envKey, t))
+			opts := o.Scale.vbOptions()
+			opts.Seed = seed
+			if !cache.Contains(varbenchKey(env, o.Machine, opts, faultSig, digest, seed)) {
+				return c, false
+			}
+		}
+	}
+	return c, true
+}
+
+// ExperimentNames lists the named paper experiments RunExperimentContext
+// dispatches, in canonical order.
+func ExperimentNames() []string {
+	return []string{"table1", "table2", "fig2", "table3", "fig3", "fig4",
+		"lightvm", "ablation", "interference"}
+}
+
+// RunExperimentContext runs one named paper experiment (see
+// ExperimentNames) at the given scale and returns its rendered output.
+// faultName selects the interference preset (default "mixed"); it is
+// ignored by every other experiment. Cancellation follows the fan-out
+// contract: no new cell starts after ctx is done, in-flight cells drain.
+func RunExperimentContext(ctx context.Context, sc Scale, name, faultName string) (string, error) {
+	switch name {
+	case "table1":
+		return VMConfigTable().String(), nil
+	case "table2":
+		r, err := RunTable2Context(ctx, sc)
+		return renderOr(r.Render, err)
+	case "fig2":
+		r, err := RunFigure2Context(ctx, sc)
+		return renderOr(r.Render, err)
+	case "table3":
+		r, err := RunTable3Context(ctx, sc)
+		return renderOr(r.Render, err)
+	case "fig3":
+		r, err := RunFigure3Context(ctx, sc)
+		return renderOr(r.Render, err)
+	case "fig4":
+		r, err := RunFigure4Context(ctx, sc)
+		return renderOr(r.Render, err)
+	case "lightvm":
+		r, err := RunLightVMExtensionContext(ctx, sc)
+		return renderOr(r.Render, err)
+	case "ablation":
+		r, err := RunAblationContext(ctx, sc)
+		return renderOr(r.Render, err)
+	case "interference":
+		if faultName == "" {
+			faultName = "mixed"
+		}
+		plan, ok := fault.Preset(faultName)
+		if !ok {
+			return "", fmt.Errorf("unknown fault preset %q", faultName)
+		}
+		r, err := RunInterferenceContext(ctx, sc, plan)
+		return renderOr(r.Render, err)
+	default:
+		return "", fmt.Errorf("unknown experiment %q (want one of %s)",
+			name, strings.Join(ExperimentNames(), ", "))
+	}
+}
+
+func renderOr(render func() string, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return render(), nil
+}

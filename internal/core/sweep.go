@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ksa/internal/corpus"
@@ -72,6 +73,26 @@ type SweepOptions struct {
 	// fault-free sweeps of the same grid derive distinct seeds and can
 	// coexist in one process without key collisions.
 	Faults *fault.Plan
+
+	// Progress, when non-nil, is called once per completed cell — from
+	// worker goroutines, possibly several at once, so it must be safe for
+	// concurrent use. It exists for observers (the daemon's event stream);
+	// it must not mutate anything the sweep reads.
+	Progress func(SweepProgress)
+}
+
+// SweepProgress describes one completed cell of a running sweep.
+type SweepProgress struct {
+	// Index/Total locate the cell in the job list (environment-major,
+	// trial-minor).
+	Index, Total int
+	// Key is the cell's job key.
+	Key string
+	// CacheHit reports whether the cell was served from the result store
+	// rather than simulated.
+	CacheHit bool
+	// Run is the completed cell itself.
+	Run SweepRun
 }
 
 // SweepRun is one (environment, trial) cell of a sweep.
@@ -115,6 +136,18 @@ type SweepResult struct {
 // derived seed is the cell's entire randomness, so a cell is addressed by
 // exactly the inputs that determine its bits.
 func RunSweep(o SweepOptions) SweepResult {
+	res, _ := RunSweepContext(context.Background(), o)
+	return res
+}
+
+// RunSweepContext is RunSweep with cancellation. Once ctx is done no new
+// cell starts (queued cells are abandoned promptly), in-flight cells drain
+// to completion — and, with a cache, stay durable — and the truncated
+// result comes back with ctx's error. Cells are claimed in job-key order,
+// so the completed cells are exactly the prefix [0, Par.Completed) of the
+// grid, each bit-identical to the same cell of an uninterrupted serial
+// run; rerunning the sweep against the same cache resumes from there.
+func RunSweepContext(ctx context.Context, o SweepOptions) (SweepResult, error) {
 	if o.Machine.Cores == 0 {
 		o.Machine = platform.PaperMachine
 	}
@@ -136,6 +169,7 @@ func RunSweep(o SweepOptions) SweepResult {
 	}
 	before := o.Scale.cacheSnapshot()
 	var jobs []runner.Job[SweepRun]
+	total := len(o.Envs) * trials
 	for _, env := range o.Envs {
 		env := env
 		envKey := env.String()
@@ -146,8 +180,10 @@ func RunSweep(o SweepOptions) SweepResult {
 		}
 		for t := 0; t < trials; t++ {
 			t := t
+			index := len(jobs)
+			jobKey := runner.SweepKey(envKey, t)
 			jobs = append(jobs, runner.Job[SweepRun]{
-				Key: runner.SweepKey(envKey, t),
+				Key: jobKey,
 				Run: func(seed uint64) SweepRun {
 					fresh := func() *varbench.Result {
 						eng := sim.NewEngine()
@@ -160,20 +196,35 @@ func RunSweep(o SweepOptions) SweepResult {
 						return varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
 					}
 					var res *varbench.Result
+					hit := false
 					if cache != nil {
 						opts := o.Scale.vbOptions()
 						opts.Seed = seed
 						key := varbenchKey(env, o.Machine, opts, faultSig, digest, seed)
-						res = cachedVarbench(cache, o.Scale.CacheVerify, key, fresh)
+						res, hit = cachedVarbenchHit(cache, o.Scale.CacheVerify, key, fresh)
 					} else {
 						res = fresh()
 					}
-					return SweepRun{Env: env, Trial: t, FaultSig: faultSig, Seed: seed, Res: res}
+					run := SweepRun{Env: env, Trial: t, FaultSig: faultSig, Seed: seed, Res: res}
+					if o.Progress != nil {
+						o.Progress(SweepProgress{
+							Index: index, Total: total, Key: jobKey, CacheHit: hit, Run: run,
+						})
+					}
+					return run
 				},
 			})
 		}
 	}
-	runs, m := runner.Sweep(o.Scale.Seed, o.Scale.Parallel, jobs)
+	runs, m, err := runner.SweepOn(ctx, o.exec(), o.Scale.Priority, o.Scale.Seed, jobs)
 	fillCacheMetrics(&m, cache, before)
-	return SweepResult{Runs: runs, Par: m}
+	if err != nil {
+		runs = runs[:m.Completed]
+	}
+	return SweepResult{Runs: runs, Par: m}, err
+}
+
+// exec resolves the sweep's executor (see Scale.exec).
+func (o SweepOptions) exec() runner.Executor {
+	return o.Scale.exec()
 }

@@ -1,0 +1,131 @@
+package daemon
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a job's event stream. Sequence numbers start at 1
+// and are dense per job, so a subscriber that saw seq N resumes with
+// since=N and misses nothing — the replay contract late joiners rely on.
+type Event struct {
+	Seq  uint64         `json:"seq"`
+	Job  string         `json:"job"`
+	Type string         `json:"type"`
+	Time time.Time      `json:"time"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// Event types emitted over a job's stream.
+const (
+	EventQueued   = "queued"
+	EventStarted  = "started"
+	EventProgress = "progress" // one per completed sweep cell
+	EventCache    = "cache"    // cache fast path / per-job cache accounting
+	EventBlame    = "blame"    // per-cell blame report on traced sweeps
+	EventDone     = "done"
+	EventCanceled = "canceled"
+	EventFailed   = "failed"
+)
+
+// EventLog is one job's append-only event history plus live fan-out: any
+// number of subscribers replay from an arbitrary sequence number and then
+// follow appends in real time. The full history is retained for the job's
+// lifetime — jobs are bounded (cells × a few event kinds), so replay is a
+// slice copy, not a ring-buffer gamble.
+type EventLog struct {
+	job string
+
+	mu      sync.Mutex
+	events  []Event
+	closed  bool
+	waiters []chan struct{}
+}
+
+// NewEventLog returns an empty log for the named job.
+func NewEventLog(job string) *EventLog {
+	return &EventLog{job: job}
+}
+
+// Append records one event and wakes every waiting subscriber. Safe for
+// concurrent use — sweep workers append progress events in parallel.
+func (l *EventLog) Append(typ string, data map[string]any) Event {
+	l.mu.Lock()
+	ev := Event{
+		Seq:  uint64(len(l.events) + 1),
+		Job:  l.job,
+		Type: typ,
+		Time: time.Now().UTC(),
+		Data: data,
+	}
+	if l.closed {
+		// A closed log is immutable; losing a racing late append is fine
+		// (close is always the job's terminal transition).
+		l.mu.Unlock()
+		return ev
+	}
+	l.events = append(l.events, ev)
+	l.wakeLocked()
+	l.mu.Unlock()
+	return ev
+}
+
+// Close marks the stream complete: subscribers drain what remains and
+// stop. Idempotent.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+func (l *EventLog) wakeLocked() {
+	for _, w := range l.waiters {
+		close(w)
+	}
+	l.waiters = nil
+}
+
+// Snapshot returns every event with Seq > since plus whether the log is
+// closed — the replay half of subscribe.
+func (l *EventLog) Snapshot(since uint64) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if since < uint64(len(l.events)) {
+		out = append(out, l.events[since:]...)
+	}
+	return out, l.closed
+}
+
+// Next blocks until events past since exist, the log closes, or done
+// fires; it then returns Snapshot(since). A nil done never fires.
+func (l *EventLog) Next(since uint64, done <-chan struct{}) ([]Event, bool) {
+	for {
+		l.mu.Lock()
+		if since < uint64(len(l.events)) || l.closed {
+			l.mu.Unlock()
+			return l.Snapshot(since)
+		}
+		w := make(chan struct{})
+		l.waiters = append(l.waiters, w)
+		l.mu.Unlock()
+		select {
+		case <-w:
+		case <-done:
+			return l.Snapshot(since)
+		}
+	}
+}
+
+// MarshalData JSON-encodes an event's payload for the SSE wire format.
+func (ev Event) MarshalData() []byte {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		// Events are built from plain strings and numbers; this cannot
+		// fail for any event the daemon emits.
+		b = []byte(`{"type":"encode-error"}`)
+	}
+	return b
+}

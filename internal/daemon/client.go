@@ -1,0 +1,162 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin Go client for the ksad API — what `ksaexp -remote`
+// and the daemon tests speak. It wraps exactly the wire contract: JSON
+// bodies, the versioned paths, and the SSE event stream.
+type Client struct {
+	// Base is the daemon's root URL, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do issues one request and decodes the JSON response into out,
+// translating non-2xx responses into the server's error message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, ae.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info)
+	return info, err
+}
+
+// Job fetches one job's current info.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation and returns the job's info.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Metrics fetches the daemon snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsInfo, error) {
+	var m MetricsInfo
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Events subscribes to a job's SSE stream starting after sequence number
+// since and calls fn for each event until the stream ends (the job's log
+// closed) or ctx is cancelled. Returns nil on a complete stream.
+func (c *Client) Events(ctx context.Context, id string, since uint64, fn func(Event)) error {
+	path := fmt.Sprintf("/v1/jobs/%s/events?since=%d", id, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("events %s: %s", id, ae.Error)
+		}
+		return fmt.Errorf("events %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("events %s: bad frame: %w", id, err)
+			}
+			if fn != nil {
+				fn(ev)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait follows the job's event stream to completion (calling fn per event
+// when non-nil) and returns the terminal JobInfo.
+func (c *Client) Wait(ctx context.Context, id string, fn func(Event)) (JobInfo, error) {
+	err := c.Events(ctx, id, 0, fn)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	info, err := c.Job(ctx, id)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if !info.State.Terminal() {
+		return info, fmt.Errorf("job %s stream ended in non-terminal state %s", id, info.State)
+	}
+	return info, nil
+}

@@ -35,7 +35,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // CodeVersion is the code-version salt mixed into every Key. Bump it
@@ -166,8 +168,16 @@ type Store struct {
 	bytesRead, bytesWritten       atomic.Int64
 }
 
-// Open creates (if needed) and returns the store rooted at dir. Warnings
-// about corrupt or unwritable entries go to os.Stderr until SetLog.
+// StaleTempAge is how old an orphaned temp file must be before Open
+// reclaims it. Writers hold a temp file only for the duration of one
+// buffered write + rename (milliseconds), so anything this old is debris
+// from a writer that died mid-Put (SIGKILL between CreateTemp and Rename).
+// The margin exists only to never race a live writer in another process.
+const StaleTempAge = time.Hour
+
+// Open creates (if needed) and returns the store rooted at dir, sweeping
+// any stale temp files an interrupted writer left behind. Warnings about
+// corrupt or unwritable entries go to os.Stderr until SetLog.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("resultcache: empty cache directory")
@@ -178,7 +188,39 @@ func Open(dir string) (*Store, error) {
 	s := &Store{dir: dir}
 	var w io.Writer = os.Stderr
 	s.log.Store(&w)
+	if n := s.sweepStaleTemp(time.Now()); n > 0 {
+		s.Logf("removed %d stale temp file(s) left by an interrupted writer", n)
+	}
 	return s, nil
+}
+
+// sweepStaleTemp removes tmp-* files in the store root older than
+// StaleTempAge relative to now and returns how many were removed. Entries
+// are only ever published by rename, so removing a temp file can never
+// lose a published result — at worst it reclaims a write that was going
+// to be repeated anyway.
+func (s *Store) sweepStaleTemp(now time.Time) int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) < StaleTempAge {
+			continue // possibly a live writer in another process
+		}
+		if os.Remove(filepath.Join(s.dir, e.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // Dir returns the store's root directory.
@@ -259,6 +301,16 @@ func parseEntry(raw []byte, canon string) ([]byte, error) {
 		return nil, fmt.Errorf("payload checksum mismatch")
 	}
 	return payload, nil
+}
+
+// Contains reports whether an entry exists under k, without reading it
+// and without touching the hit/miss counters. It is an existence probe
+// for fast-path planning (can this whole job be answered from cache?),
+// not a validity check: a corrupt entry still reports true here and is
+// recomputed by the Get path that actually serves it.
+func (s *Store) Contains(k Key) bool {
+	info, err := os.Stat(s.path(k.Hash()))
+	return err == nil && info.Mode().IsRegular()
 }
 
 // Corrupt reclassifies a hit as a miss after a higher layer failed to

@@ -8,12 +8,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func testKey(seed uint64) Key {
 	return Key{
 		Salt: CodeVersion, Kind: "varbench", Env: "kvm-8@64c32g",
-		Opts: "iters=20 warmup=2 hop=2000 skew=8000",
+		Opts:     "iters=20 warmup=2 hop=2000 skew=8000",
 		FaultSig: "", Corpus: "deadbeef", Seed: seed,
 	}
 }
@@ -272,5 +273,82 @@ func TestNoTornEntriesAfterRename(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// TestOpenSweepsStaleTempFiles: a writer SIGKILLed between CreateTemp and
+// Rename leaves a tmp-* orphan; reopening the store must reclaim orphans
+// older than StaleTempAge while leaving fresh temp files (possibly a live
+// writer in another process) and published entries untouched.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetLog(nil)
+	k := testKey(7)
+	if err := st.Put(k, []byte("published")); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, "tmp-interrupted")
+	fresh := filepath.Join(dir, "tmp-live")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial entry bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * StaleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived reopen (stat err: %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was reclaimed: %v", err)
+	}
+	if got, ok := st2.Get(k); !ok || !bytes.Equal(got, []byte("published")) {
+		t.Fatalf("published entry damaged by sweep: %q, %v", got, ok)
+	}
+}
+
+func TestSweepStaleTempCountsAndIgnoresYoung(t *testing.T) {
+	st, _ := openTest(t)
+	young := filepath.Join(st.Dir(), "tmp-young")
+	if err := os.WriteFile(young, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.sweepStaleTemp(time.Now()); n != 0 {
+		t.Fatalf("swept %d young temp files", n)
+	}
+	// The same file is stale from the perspective of a sufficiently
+	// future "now".
+	if n := st.sweepStaleTemp(time.Now().Add(2 * StaleTempAge)); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+}
+
+func TestContainsProbesWithoutCounters(t *testing.T) {
+	st, _ := openTest(t)
+	k := testKey(9)
+	if st.Contains(k) {
+		t.Fatal("Contains true on empty store")
+	}
+	if err := st.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(k) {
+		t.Fatal("Contains false after Put")
+	}
+	s := st.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Contains touched counters: %+v", s)
 	}
 }

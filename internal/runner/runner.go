@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -64,6 +65,13 @@ type Metrics struct {
 	// up, measured from the fan-out's start.
 	QueueWait []time.Duration
 
+	// Completed is how many jobs actually ran. Jobs are always claimed in
+	// index order and a claimed job is never abandoned, so the completed
+	// set is exactly the prefix [0, Completed) — the foundation of the
+	// cancel-then-resume contract. Equal to Jobs unless the fan-out's
+	// context was cancelled.
+	Completed int
+
 	// Result-cache accounting, filled by orchestrators whose jobs consult
 	// the content-addressed store (internal/resultcache): how many jobs
 	// were served from cache vs simulated, and the payload bytes moved.
@@ -122,6 +130,18 @@ func (m Metrics) String() string {
 // run inline on the calling goroutine — the serial baseline is the same
 // code path, not a special case.
 func Run(n, workers int, fn func(job int)) Metrics {
+	m, _ := RunContext(context.Background(), n, workers, fn)
+	return m
+}
+
+// RunContext is Run with cancellation. Workers claim jobs in index order;
+// once ctx is done no new job is claimed (queued jobs are abandoned
+// promptly) but every claimed job drains to completion — fn is never
+// interrupted mid-cell. The jobs that did run are therefore exactly the
+// prefix [0, Metrics.Completed), each bit-identical to what a serial
+// uncancelled run would have produced for that index. Returns ctx.Err()
+// when the fan-out was cut short, nil when every job ran.
+func RunContext(ctx context.Context, n, workers int, fn func(job int)) (Metrics, error) {
 	w := Workers(workers)
 	if w > n {
 		w = n
@@ -133,27 +153,35 @@ func Run(n, workers int, fn func(job int)) Metrics {
 		QueueWait: make([]time.Duration, n),
 	}
 	if n == 0 {
-		return m
+		return m, ctx.Err()
 	}
 	start := time.Now()
 	if w <= 1 {
 		m.Workers = 1
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				m.Wall = time.Since(start)
+				return m, ctx.Err()
+			}
 			m.QueueWait[i] = time.Since(start)
 			t0 := time.Now()
 			fn(i)
 			m.JobWall[i] = time.Since(t0)
+			m.Completed = i + 1
 		}
 		m.Wall = time.Since(start)
-		return m
+		return m, nil
 	}
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -162,12 +190,14 @@ func Run(n, workers int, fn func(job int)) Metrics {
 				t0 := time.Now()
 				fn(i)
 				m.JobWall[i] = time.Since(t0)
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	m.Completed = int(completed.Load())
 	m.Wall = time.Since(start)
-	return m
+	return m, ctx.Err()
 }
 
 // Map executes fn for each job index and returns the results in job order
@@ -178,4 +208,36 @@ func Map[T any](n, workers int, fn func(job int) T) ([]T, Metrics) {
 		out[i] = fn(i)
 	})
 	return out, m
+}
+
+// Executor abstracts where a fan-out's jobs execute: Inline spins up
+// ephemeral goroutines per call (the classic Run), while a shared Pool
+// multiplexes many concurrent fan-outs onto one fixed set of workers.
+// priority orders jobs across concurrent fan-outs on executors that share
+// workers (higher runs first); Inline ignores it.
+type Executor interface {
+	Do(ctx context.Context, priority, n int, fn func(job int)) (Metrics, error)
+}
+
+// Inline is the ephemeral-goroutine Executor: each Do is an independent
+// RunContext fan-out on up to Workers goroutines (0 = GOMAXPROCS).
+type Inline struct {
+	Workers int
+}
+
+// Do implements Executor.
+func (e Inline) Do(ctx context.Context, _ /* priority */, n int, fn func(job int)) (Metrics, error) {
+	return RunContext(ctx, n, e.Workers, fn)
+}
+
+// MapOn is Map on an arbitrary Executor: results land at their job index
+// regardless of completion order. On cancellation the returned error is
+// non-nil and only the completed prefix of out holds results — the rest
+// are zero values.
+func MapOn[T any](ctx context.Context, ex Executor, priority, n int, fn func(job int) T) ([]T, Metrics, error) {
+	out := make([]T, n)
+	m, err := ex.Do(ctx, priority, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, m, err
 }

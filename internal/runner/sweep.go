@@ -1,6 +1,9 @@
 package runner
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Job is one keyed unit of a sweep. Key is the job's stable identity — it
 // orders nothing by itself (results follow the job list's order) but it is
@@ -17,6 +20,18 @@ type Job[T any] struct {
 // presence of other jobs. Duplicate keys panic: two jobs with the same key
 // would share a seed by construction, which is always a caller bug.
 func Sweep[T any](root uint64, workers int, jobs []Job[T]) ([]T, Metrics) {
+	out, m, _ := SweepOn(context.Background(), Inline{Workers: workers}, 0, root, jobs)
+	return out, m
+}
+
+// SweepOn is Sweep on an arbitrary Executor — the entry point shared
+// services use to multiplex many concurrent sweeps onto one worker pool
+// with per-sweep priorities. On cancellation only the completed prefix of
+// the results is populated; because each cell's seed is derived from its
+// key alone, that prefix is byte-identical to the same cells of an
+// uncancelled serial run, and a rerun resumes cleanly from whatever a
+// result cache retained.
+func SweepOn[T any](ctx context.Context, ex Executor, priority int, root uint64, jobs []Job[T]) ([]T, Metrics, error) {
 	seen := make(map[string]int, len(jobs))
 	for i, j := range jobs {
 		if prev, dup := seen[j.Key]; dup {
@@ -24,7 +39,7 @@ func Sweep[T any](root uint64, workers int, jobs []Job[T]) ([]T, Metrics) {
 		}
 		seen[j.Key] = i
 	}
-	return Map(len(jobs), workers, func(i int) T {
+	return MapOn(ctx, ex, priority, len(jobs), func(i int) T {
 		return jobs[i].Run(DeriveSeed(root, jobs[i].Key))
 	})
 }

@@ -23,11 +23,14 @@
 package ksa
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"ksa/internal/cluster"
 	"ksa/internal/core"
 	"ksa/internal/corpus"
+	"ksa/internal/daemon"
 	"ksa/internal/fault"
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
@@ -281,3 +284,50 @@ var (
 // KindLightVMs selects the lightweight-VM (Firecracker/Kata-class)
 // environment in SingleNodeConfig/ClusterConfig-style uses.
 const KindLightVMs = platform.KindLightVMs
+
+// Daemon layer (cmd/ksad): the long-running experiment service and its
+// HTTP API — jobs multiplex onto one shared pool, warmed jobs are served
+// from the result cache without occupying it, and per-job events stream
+// over SSE with replay. Results stay bit-identical to local runs.
+type (
+	// Daemon owns the job table, shared pool, and per-job event logs.
+	Daemon = daemon.Daemon
+	// DaemonConfig configures NewDaemon (pool size, cache, logging).
+	DaemonConfig = daemon.Config
+	// DaemonClient is the Go client for the ksad HTTP API.
+	DaemonClient = daemon.Client
+	// JobSpec is the wire form of a job submission.
+	JobSpec = daemon.JobSpec
+	// JobInfo is the API view of a job's state and result.
+	JobInfo = daemon.JobInfo
+	// JobEvent is one entry of a job's replayable event stream.
+	JobEvent = daemon.Event
+)
+
+// NewDaemon starts an experiment daemon (close it when done).
+func NewDaemon(cfg DaemonConfig) *Daemon { return daemon.New(cfg) }
+
+// NewDaemonRouter binds the versioned ksad HTTP API to a daemon.
+func NewDaemonRouter(d *Daemon) http.Handler { return daemon.NewRouter(d) }
+
+// ExperimentNames lists the named paper experiments the daemon (and
+// RunExperiment) dispatches.
+func ExperimentNames() []string { return core.ExperimentNames() }
+
+// RunExperiment runs one named paper experiment under a context (see
+// ExperimentNames) and returns its rendered output; faultName selects the
+// interference preset and is ignored by every other experiment.
+func RunExperiment(ctx context.Context, sc Scale, name, faultName string) (string, error) {
+	return core.RunExperimentContext(ctx, sc, name, faultName)
+}
+
+// RunSweepContext is RunSweep with cancellation: queued cells are dropped
+// promptly, in-flight cells drain, and the completed prefix stays
+// bit-identical to a serial run (so a cached sweep resumes from there).
+func RunSweepContext(ctx context.Context, o SweepOptions) (SweepResult, error) {
+	return core.RunSweepContext(ctx, o)
+}
+
+// ParseEnvSpec parses "native", "kvm-8", "docker-64", "lightvm-16" — the
+// inverse of EnvSpec.String, as accepted by sweep jobs on the wire.
+func ParseEnvSpec(s string) (EnvSpec, error) { return core.ParseEnvSpec(s) }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Daemon smoke: start ksad, submit a sweep over HTTP, stream its SSE events
+# to completion, resubmit and assert it is answered 100% from cache without
+# occupying the pool, then cancel a long job mid-sweep and assert it exits
+# promptly and resumes from the completed prefix.
+#
+# Usage: scripts/daemon_smoke.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+addr="127.0.0.1:${KSAD_PORT:-7077}"
+base="http://$addr"
+
+echo "== daemon smoke in $work (ksad on $addr)"
+go build -o "$work/ksad" ./cmd/ksad
+
+"$work/ksad" -listen "$addr" -workers 4 -cache "$work/cache" >"$work/ksad.log" 2>&1 &
+ksad_pid=$!
+trap 'kill "$ksad_pid" 2>/dev/null || true; wait "$ksad_pid" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  curl -fsS "$base/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/v1/healthz" | jq -e '.status == "ok"' >/dev/null
+echo "== ksad is up"
+
+spec='{"type":"sweep","scale":"quick","envs":["native","docker-4"],"trials":2}'
+
+# Cold run: submit, then follow the SSE stream to its end (the stream
+# closes itself at the job's terminal event).
+job=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$spec" "$base/v1/jobs" | jq -r .id)
+echo "== submitted $job"
+timeout 120 curl -fsS -N "$base/v1/jobs/$job/events" >"$work/events-cold.txt"
+progress=$(grep -c '^event: progress' "$work/events-cold.txt")
+grep -q '^event: done' "$work/events-cold.txt"
+info=$(curl -fsS "$base/v1/jobs/$job")
+state=$(jq -r .state <<<"$info")
+digest=$(jq -r .result.digest <<<"$info")
+[ "$state" = done ] || { echo "cold job state $state"; exit 1; }
+[ "$progress" = 4 ] || { echo "cold job streamed $progress progress events, want 4"; exit 1; }
+echo "== cold run done: $progress cells, digest ${digest:0:16}…"
+
+# Warmed resubmit: 100% cache hits, bit-identical digest, and the pool's
+# lifetime cell counter must not move — cached jobs are served by readers,
+# not workers.
+cells_before=$(curl -fsS "$base/v1/metrics" | jq .pool.cells_run)
+job2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$spec" "$base/v1/jobs" | jq -r .id)
+timeout 120 curl -fsS -N "$base/v1/jobs/$job2/events" >"$work/events-warm.txt"
+grep -q '^event: cache' "$work/events-warm.txt"
+info2=$(curl -fsS "$base/v1/jobs/$job2")
+jq -e '.state == "done" and .result.from_cache == true and .result.cache_hits == 4 and .result.cache_misses == 0' <<<"$info2" >/dev/null \
+  || { echo "warmed job not served from cache: $info2"; exit 1; }
+[ "$(jq -r .result.digest <<<"$info2")" = "$digest" ] || { echo "warmed digest differs"; exit 1; }
+cells_after=$(curl -fsS "$base/v1/metrics" | jq .pool.cells_run)
+[ "$cells_before" = "$cells_after" ] || { echo "warmed job occupied the pool: cells_run $cells_before -> $cells_after"; exit 1; }
+echo "== warmed resubmit: 100% hits, digest identical, pool untouched"
+
+# Replay: a late joiner asking since=2 gets the suffix only, still ending
+# in the terminal event.
+timeout 60 curl -fsS -N "$base/v1/jobs/$job2/events?since=2" >"$work/events-replay.txt"
+! grep -q '^id: 1$' "$work/events-replay.txt" || { echo "replay from 2 included seq 1"; exit 1; }
+grep -q '^event: done' "$work/events-replay.txt"
+echo "== SSE replay from mid-stream OK"
+
+# Cancellation: a 24-cell job (fresh seed, so nothing is cached), cancelled
+# at its first progress event, must exit promptly — queued cells dropped,
+# the in-flight cell drained — and the rerun resumes from the prefix.
+long='{"type":"sweep","scale":"quick","envs":["native","kvm-2","docker-2"],"trials":8,"seed":99}'
+job3=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$long" "$base/v1/jobs" | jq -r .id)
+timeout 120 curl -fsS -N "$base/v1/jobs/$job3/events" >"$work/events-cancel.txt" &
+stream_pid=$!
+for _ in $(seq 200); do
+  grep -q '^event: progress' "$work/events-cancel.txt" 2>/dev/null && break
+  sleep 0.05
+done
+t0=$(date +%s%N)
+curl -fsS -X DELETE "$base/v1/jobs/$job3" >/dev/null
+wait "$stream_pid" || true   # the stream ends at the terminal event
+cancel_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+state3=$(curl -fsS "$base/v1/jobs/$job3" | jq -r .state)
+done3=$(grep -c '^event: progress' "$work/events-cancel.txt")
+[ "$state3" = canceled ] || { echo "cancelled job state $state3"; exit 1; }
+[ "$done3" -lt 24 ] || { echo "cancel landed after all $done3 cells"; exit 1; }
+echo "== cancelled $job3 after $done3/24 cells in ${cancel_ms}ms"
+
+job4=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$long" "$base/v1/jobs" | jq -r .id)
+timeout 120 curl -fsS -N "$base/v1/jobs/$job4/events" >/dev/null
+info4=$(curl -fsS "$base/v1/jobs/$job4")
+jq -e '.state == "done"' <<<"$info4" >/dev/null || { echo "resume job failed: $info4"; exit 1; }
+hits4=$(jq -r .result.cache_hits <<<"$info4")
+[ "$hits4" = "$done3" ] || { echo "resume reused $hits4 cells, want $done3"; exit 1; }
+echo "== resume after cancel reused exactly the completed prefix ($hits4 cells)"
+
+echo "== daemon smoke OK"
