@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,14 +58,21 @@ func main() {
 	}
 	d := daemon.New(cfg)
 
-	srv := &http.Server{Addr: *listen, Handler: daemon.NewRouter(d)}
+	// Bind before announcing: with "-listen 127.0.0.1:0" the kernel picks
+	// the port, and supervisors (the distributed-sweep fleet spawner) parse
+	// the actual bound address from this line.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv := &http.Server{Handler: daemon.NewRouter(d)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	logger.Printf("listening on http://%s (workers=%d cache=%s)",
-		*listen, d.Metrics().Pool.Workers, orOff(*cacheDir))
+		ln.Addr(), d.Metrics().Pool.Workers, orOff(*cacheDir))
 
 	select {
 	case err := <-errc:

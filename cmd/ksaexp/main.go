@@ -5,6 +5,8 @@
 //	ksaexp [-exp table1,table2,fig2,table3,fig3,fig4|all] [-scale default|quick]
 //	       [-seed N] [-parallel N] [-cache dir|off] [-cache-verify]
 //	       [-trace] [-fault name|list] [-remote url]
+//	ksaexp -exp sweep [-envs list] [-trials N] [-workers N] [-worker-urls list]
+//	       [-worker-bin path] [-scale ...] [-seed N] [-cache dir] [-fault name]
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
@@ -22,6 +24,13 @@
 // -remote submits the selected experiments to a running ksad daemon
 // instead of executing locally: each becomes a job on the daemon's shared
 // pool and the rendered output comes back byte-identical to a local run.
+//
+// -exp sweep runs a distributed sweep: the environment × trial grid is
+// sharded across worker processes — ksad daemons spawned for the run
+// (-workers N, sharing -cache) and/or already-running ones (-worker-urls)
+// — and merged to the exact digest a serial run produces. A worker killed
+// mid-sweep is failed over via the cache's lease protocol; see
+// internal/distsweep.
 package main
 
 import (
@@ -46,6 +55,12 @@ func main() {
 	traceOn := flag.Bool("trace", false, "also run the blame experiment (same as adding 'blame' to -exp)")
 	faultName := flag.String("fault", "mixed", "interference plan for -exp interference: a preset name, or 'list' to print the presets and exit")
 	remote := flag.String("remote", "", "ksad base URL (e.g. http://127.0.0.1:7077): submit the selected experiments as daemon jobs instead of running locally")
+	envs := flag.String("envs", "native,kvm-8,docker-64", "for -exp sweep: comma-separated environment specs")
+	trials := flag.Int("trials", 3, "for -exp sweep: trials per environment")
+	workers := flag.Int("workers", 0, "for -exp sweep: spawn N local ksad worker processes for the run (shares -cache)")
+	workerURLs := flag.String("worker-urls", "", "for -exp sweep: comma-separated base URLs of running ksad workers")
+	workerBin := flag.String("worker-bin", "", "for -exp sweep -workers: ksad binary (default: sibling of this executable, then $PATH)")
+	serial := flag.Bool("serial", false, "for -exp sweep: run the grid serially in-process instead of distributing — the digest oracle distributed runs are checked against")
 	flag.Parse()
 
 	if *faultName == "list" {
@@ -66,9 +81,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksaexp: unknown -scale %q\n", *scaleName)
 		os.Exit(2)
 	}
-	seedSet := false
-	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
-	if seedSet {
+	if flagWasSet("seed") {
 		if *seed == 0 {
 			fmt.Fprintln(os.Stderr, "ksaexp: -seed 0 is the 'keep the scale's default' sentinel; pass a nonzero seed (or omit the flag)")
 			os.Exit(2)
@@ -108,6 +121,23 @@ func main() {
 
 	if *remote != "" {
 		runRemote(*remote, want, all, *scaleName, *seed, *faultName, *csvDir, *cacheDir, *cacheVerify)
+		return
+	}
+	if want["sweep"] {
+		if len(want) > 1 {
+			fmt.Fprintln(os.Stderr, "ksaexp: -exp sweep runs alone (it has its own grid flags)")
+			os.Exit(2)
+		}
+		fname := *faultName
+		if !flagWasSet("fault") {
+			fname = "" // distributed sweeps default to clean runs
+		}
+		if *serial {
+			runSerialSweep(*scaleName, *seed, *envs, *trials, fname, *cacheDir, cache)
+			return
+		}
+		runDistributedSweep(*scaleName, *seed, *envs, *trials, fname,
+			*workerURLs, *workers, *workerBin, *cacheDir)
 		return
 	}
 	ran := 0
@@ -209,6 +239,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksaexp: nothing selected by -exp %q\n", *exps)
 		os.Exit(2)
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
 }
 
 // runRemote submits the selected experiments as jobs to a ksad daemon,

@@ -18,7 +18,6 @@ import (
 	"ksa/internal/platform"
 	"ksa/internal/report"
 	"ksa/internal/resultcache/codec"
-	"ksa/internal/runner"
 )
 
 // ParseEnvSpec parses the canonical environment-spec string form —
@@ -120,34 +119,13 @@ func SweepCached(o SweepOptions) (*corpus.Corpus, bool) {
 	if cache == nil || o.Trace {
 		return o.Corpus, false
 	}
-	if o.Machine.Cores == 0 {
-		o.Machine = platform.PaperMachine
-	}
-	trials := o.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-	c := o.Corpus
-	if c == nil {
-		c, _ = o.Scale.GenerateCorpus()
-	}
-	digest := o.Scale.corpusDigest(c)
-	faultSig := faultSigOf(o.Faults)
-	for _, env := range o.Envs {
-		envKey := env.String()
-		if faultSig != "" {
-			envKey += "/fault=" + faultSig
-		}
-		for t := 0; t < trials; t++ {
-			seed := runner.DeriveSeed(o.Scale.Seed, runner.SweepKey(envKey, t))
-			opts := o.Scale.vbOptions()
-			opts.Seed = seed
-			if !cache.Contains(varbenchKey(env, o.Machine, opts, faultSig, digest, seed)) {
-				return c, false
-			}
+	p := PlanSweep(o)
+	for _, cell := range p.Cells {
+		if !cache.Contains(p.CacheKey(cell)) {
+			return p.Opts.Corpus, false
 		}
 	}
-	return c, true
+	return p.Opts.Corpus, true
 }
 
 // ExperimentNames lists the named paper experiments RunExperimentContext

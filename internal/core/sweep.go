@@ -7,6 +7,7 @@ import (
 	"ksa/internal/corpus"
 	"ksa/internal/fault"
 	"ksa/internal/platform"
+	"ksa/internal/resultcache"
 	"ksa/internal/rng"
 	"ksa/internal/runner"
 	"ksa/internal/sim"
@@ -123,6 +124,127 @@ type SweepResult struct {
 	Par  runner.Metrics
 }
 
+// SweepCell is one enumerated cell of a sweep grid: its position, its
+// job key, and its derived seed — everything that identifies the cell
+// without running it. Cells enumerate environment-major, trial-minor, so
+// slice order is job-key order (the canonical merge order).
+type SweepCell struct {
+	// Index is the cell's position in the grid enumeration.
+	Index int
+	// Env and Trial locate the cell in the grid.
+	Env   EnvSpec
+	Trial int
+	// FaultSig is the sweep's interference-plan signature ("" clean).
+	FaultSig string
+	// JobKey is the cell's stable identity, e.g. "kvm-8/trial=2".
+	JobKey string
+	// Seed is the cell's private seed, derived from the root seed and
+	// JobKey alone — never from position or worker.
+	Seed uint64
+}
+
+// SweepPlan is a sweep grid resolved to its cells plus the shared inputs
+// every cell needs (normalized options, corpus, corpus digest). Planning
+// is cheap and deterministic; it exists so that the in-process sweep, the
+// daemon's worker-mode cell endpoint, and the distributed coordinator all
+// enumerate exactly the same cells with exactly the same keys — the
+// bit-identity contract reduced to sharing one code path.
+type SweepPlan struct {
+	// Opts is the normalized sweep (machine and trials defaulted, corpus
+	// filled in).
+	Opts SweepOptions
+	// Cells is the grid in job-key order.
+	Cells []SweepCell
+	// digest is the corpus cache digest ("" when the cache is off).
+	digest string
+}
+
+// PlanSweep normalizes o and enumerates its grid.
+func PlanSweep(o SweepOptions) SweepPlan {
+	if o.Machine.Cores == 0 {
+		o.Machine = platform.PaperMachine
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Corpus == nil {
+		c, _ := o.Scale.GenerateCorpus()
+		o.Corpus = c
+	}
+	p := SweepPlan{Opts: o}
+	if p.cache() != nil {
+		p.digest = o.Scale.corpusDigest(o.Corpus)
+	}
+	faultSig := faultSigOf(o.Faults)
+	for _, env := range o.Envs {
+		envKey := env.String()
+		if faultSig != "" {
+			envKey += "/fault=" + faultSig
+		}
+		for t := 0; t < o.Trials; t++ {
+			jobKey := runner.SweepKey(envKey, t)
+			p.Cells = append(p.Cells, SweepCell{
+				Index: len(p.Cells), Env: env, Trial: t, FaultSig: faultSig,
+				JobKey: jobKey, Seed: runner.DeriveSeed(o.Scale.Seed, jobKey),
+			})
+		}
+	}
+	return p
+}
+
+// cache returns the plan's result store, nil for traced sweeps (live
+// tracers are not serializable).
+func (p SweepPlan) cache() *resultcache.Store {
+	if p.Opts.Trace {
+		return nil
+	}
+	return p.Opts.Scale.Cache
+}
+
+// CacheKey returns the result-store key addressing one cell. The trial
+// number is deliberately absent: the derived seed is the cell's entire
+// randomness, so a cell is addressed by exactly the inputs that determine
+// its bits.
+func (p SweepPlan) CacheKey(c SweepCell) resultcache.Key {
+	opts := p.Opts.Scale.vbOptions()
+	opts.Seed = c.Seed
+	return varbenchKey(c.Env, p.Opts.Machine, opts, c.FaultSig, p.digest, c.Seed)
+}
+
+// RunCell executes exactly one cell — through the cache when configured —
+// and reports whether it was served from the store. This is the single
+// cell code path shared by every execution mode: the serial baseline, the
+// in-process parallel fan-out, the daemon's pool, and a remote worker
+// answering a coordinator all call here, which is what makes their
+// outputs bit-identical by construction.
+func (p SweepPlan) RunCell(c SweepCell) (SweepRun, bool) {
+	o := p.Opts
+	fresh := func() *varbench.Result {
+		eng := sim.NewEngine()
+		opts := o.Scale.vbOptions()
+		opts.Seed = c.Seed
+		if o.Trace {
+			opts.Trace = &trace.Options{}
+		}
+		opts.Faults = o.Faults
+		return varbench.Run(c.Env.Build(eng, o.Machine, c.Seed), o.Corpus, opts)
+	}
+	var res *varbench.Result
+	hit := false
+	if cache := p.cache(); cache != nil {
+		res, hit = cachedVarbenchHit(cache, o.Scale.CacheVerify, p.CacheKey(c), fresh)
+	} else {
+		res = fresh()
+	}
+	run := SweepRun{Env: c.Env, Trial: c.Trial, FaultSig: c.FaultSig, Seed: c.Seed, Res: res}
+	if o.Progress != nil {
+		o.Progress(SweepProgress{
+			Index: c.Index, Total: len(p.Cells), Key: c.JobKey, CacheHit: hit, Run: run,
+		})
+	}
+	return run, hit
+}
+
 // RunSweep executes the environment × trial grid, fanning the independent
 // simulations across Scale.Parallel workers. The output is bit-identical
 // for every worker count: job order fixes the merge order and per-key seed
@@ -132,9 +254,7 @@ type SweepResult struct {
 // serializable), each worker consults the content-addressed store before
 // simulating and writes through after, so an interrupted sweep resumes
 // executing only the missing cells and a repeated sweep is served entirely
-// from cache. The cell's trial number is not part of the cache key: the
-// derived seed is the cell's entire randomness, so a cell is addressed by
-// exactly the inputs that determine its bits.
+// from cache.
 func RunSweep(o SweepOptions) SweepResult {
 	res, _ := RunSweepContext(context.Background(), o)
 	return res
@@ -148,76 +268,24 @@ func RunSweep(o SweepOptions) SweepResult {
 // grid, each bit-identical to the same cell of an uninterrupted serial
 // run; rerunning the sweep against the same cache resumes from there.
 func RunSweepContext(ctx context.Context, o SweepOptions) (SweepResult, error) {
-	if o.Machine.Cores == 0 {
-		o.Machine = platform.PaperMachine
-	}
-	trials := o.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-	c := o.Corpus
-	if c == nil {
-		c, _ = o.Scale.GenerateCorpus()
-	}
-	cache := o.Scale.Cache
-	if o.Trace {
-		cache = nil
-	}
-	digest := ""
-	if cache != nil {
-		digest = o.Scale.corpusDigest(c)
-	}
+	p := PlanSweep(o)
 	before := o.Scale.cacheSnapshot()
-	var jobs []runner.Job[SweepRun]
-	total := len(o.Envs) * trials
-	for _, env := range o.Envs {
-		env := env
-		envKey := env.String()
-		faultSig := ""
-		if o.Faults != nil {
-			faultSig = o.Faults.Sig()
-			envKey += "/fault=" + faultSig
-		}
-		for t := 0; t < trials; t++ {
-			t := t
-			index := len(jobs)
-			jobKey := runner.SweepKey(envKey, t)
-			jobs = append(jobs, runner.Job[SweepRun]{
-				Key: jobKey,
-				Run: func(seed uint64) SweepRun {
-					fresh := func() *varbench.Result {
-						eng := sim.NewEngine()
-						opts := o.Scale.vbOptions()
-						opts.Seed = seed
-						if o.Trace {
-							opts.Trace = &trace.Options{}
-						}
-						opts.Faults = o.Faults
-						return varbench.Run(env.Build(eng, o.Machine, seed), c, opts)
-					}
-					var res *varbench.Result
-					hit := false
-					if cache != nil {
-						opts := o.Scale.vbOptions()
-						opts.Seed = seed
-						key := varbenchKey(env, o.Machine, opts, faultSig, digest, seed)
-						res, hit = cachedVarbenchHit(cache, o.Scale.CacheVerify, key, fresh)
-					} else {
-						res = fresh()
-					}
-					run := SweepRun{Env: env, Trial: t, FaultSig: faultSig, Seed: seed, Res: res}
-					if o.Progress != nil {
-						o.Progress(SweepProgress{
-							Index: index, Total: total, Key: jobKey, CacheHit: hit, Run: run,
-						})
-					}
-					return run
-				},
-			})
+	jobs := make([]runner.Job[SweepRun], len(p.Cells))
+	for i, cell := range p.Cells {
+		cell := cell
+		jobs[i] = runner.Job[SweepRun]{
+			Key: cell.JobKey,
+			Run: func(seed uint64) SweepRun {
+				// seed == cell.Seed by construction: both are
+				// DeriveSeed(root, JobKey). The plan's copy exists so remote
+				// workers can verify it without re-deriving.
+				run, _ := p.RunCell(cell)
+				return run
+			},
 		}
 	}
 	runs, m, err := runner.SweepOn(ctx, o.exec(), o.Scale.Priority, o.Scale.Seed, jobs)
-	fillCacheMetrics(&m, cache, before)
+	fillCacheMetrics(&m, p.cache(), before)
 	if err != nil {
 		runs = runs[:m.Completed]
 	}

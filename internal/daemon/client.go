@@ -96,6 +96,43 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
 	return info, err
 }
 
+// Cell runs one sweep cell on the worker (POST /v1/cells) and returns its
+// result. A 409 — another worker holds the cell's lease — comes back as a
+// *LeaseHeldError so coordinators can errors.As it and back off until the
+// holder's expiry.
+func (c *Client) Cell(ctx context.Context, spec CellSpec) (CellResult, error) {
+	var res CellResult
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return res, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/cells"), bytes.NewReader(b))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		var held LeaseHeldError
+		if json.NewDecoder(resp.Body).Decode(&held) != nil || held.Holder == "" {
+			held.Holder = "(unknown)"
+		}
+		return res, &held
+	case resp.StatusCode/100 != 2:
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return res, fmt.Errorf("cell %s/%d: %s", spec.Env, spec.Trial, ae.Error)
+		}
+		return res, fmt.Errorf("cell %s/%d: HTTP %d", spec.Env, spec.Trial, resp.StatusCode)
+	}
+	return res, json.NewDecoder(resp.Body).Decode(&res)
+}
+
 // Metrics fetches the daemon snapshot.
 func (c *Client) Metrics(ctx context.Context) (MetricsInfo, error) {
 	var m MetricsInfo

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ksa/internal/core"
+	"ksa/internal/corpus"
 	"ksa/internal/fault"
 	"ksa/internal/resultcache"
 	"ksa/internal/runner"
@@ -53,6 +54,11 @@ type Daemon struct {
 	order  []string
 	nextID int
 	closed bool
+
+	// corpusMu/corpora memoize corpus generation for the worker-mode cell
+	// endpoint (see cell.go), keyed by corpusKey(scale, seed).
+	corpusMu sync.Mutex
+	corpora  map[string]*corpus.Corpus
 }
 
 // New starts a daemon with its worker pool. Close it when done.
@@ -223,13 +229,7 @@ func (d *Daemon) Metrics() MetricsInfo {
 // scale builds the job's experiment scale: the named preset, the seed
 // override, the shared cache, and the shared pool as executor.
 func (d *Daemon) scale(spec JobSpec) core.Scale {
-	sc := core.DefaultScale()
-	if spec.Scale == "quick" {
-		sc = core.QuickScale()
-	}
-	if spec.Seed != 0 {
-		sc.Seed = spec.Seed
-	}
+	sc := ScaleFor(spec.Scale, spec.Seed)
 	sc.Cache = d.cfg.Cache
 	sc.Exec = d.pool
 	sc.Priority = spec.Priority

@@ -1,7 +1,9 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -18,6 +20,10 @@ type Backend interface {
 	Cancel(id string) (JobInfo, bool)
 	Events(id string) (*EventLog, bool)
 	Metrics() MetricsInfo
+	// RunCell executes one sweep cell synchronously — the worker-mode
+	// endpoint a distributed coordinator drives. A *LeaseHeldError return
+	// maps to 409.
+	RunCell(ctx context.Context, spec CellSpec) (CellResult, error)
 }
 
 // apiError is the JSON error envelope every non-2xx response carries.
@@ -32,6 +38,8 @@ type apiError struct {
 //	GET    /v1/jobs/{id}        one job's info (includes result when done)
 //	DELETE /v1/jobs/{id}        cancel; returns the post-cancel JobInfo
 //	GET    /v1/jobs/{id}/events SSE stream with replay (?since=N)
+//	POST   /v1/cells            run one sweep cell synchronously (worker
+//	                            mode; 409 when another worker's lease holds)
 //	GET    /v1/metrics          jobs-by-state, pool, and cache counters
 //	GET    /v1/healthz          liveness probe
 func NewRouter(b Backend) http.Handler {
@@ -75,6 +83,31 @@ func NewRouter(b Backend) http.Handler {
 			return
 		}
 		serveSSE(w, r, log)
+	})
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		var spec CellSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad cell spec: " + err.Error()})
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		res, err := b.RunCell(r.Context(), spec)
+		var held *LeaseHeldError
+		switch {
+		case errors.As(err, &held):
+			// 409: the cell is being computed elsewhere. The body carries
+			// the holder and expiry so coordinators can bound their backoff.
+			writeJSON(w, http.StatusConflict, held)
+		case errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		case err != nil:
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, b.Metrics())

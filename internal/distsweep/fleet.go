@@ -1,0 +1,143 @@
+package distsweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"regexp"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// readyLine matches the address announcement a worker prints to stderr
+// once its listener is bound — ksad's "listening on http://ADDR" line.
+// Workers listen on "127.0.0.1:0" so the kernel picks every port; the
+// announcement is the only channel the actual address travels on.
+var readyLine = regexp.MustCompile(`listening on (http://\S+)`)
+
+// WorkerProc is one spawned worker process.
+type WorkerProc struct {
+	// URL is the worker's announced base URL.
+	URL string
+	cmd *exec.Cmd
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// Kill SIGKILLs the worker — the chaos harness's mid-sweep crash. The
+// process gets no chance to release leases or flush anything; recovery
+// is entirely the coordinator's lease-expiry path.
+func (w *WorkerProc) Kill() {
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill() //nolint:errcheck // already-dead is fine
+	}
+	w.wait()
+}
+
+// wait reaps the process once; safe after Kill or Stop.
+func (w *WorkerProc) wait() error {
+	w.waitOnce.Do(func() { w.waitErr = w.cmd.Wait() })
+	return w.waitErr
+}
+
+// Fleet is a set of locally spawned worker processes.
+type Fleet struct {
+	Procs []*WorkerProc
+}
+
+// URLs lists the fleet's base URLs in spawn order — the Workers value for
+// Options.
+func (f *Fleet) URLs() []string {
+	out := make([]string, len(f.Procs))
+	for i, p := range f.Procs {
+		out[i] = p.URL
+	}
+	return out
+}
+
+// Stop terminates every still-running worker (SIGTERM, so daemons drain)
+// and reaps them. Idempotent; already-killed workers are just reaped.
+func (f *Fleet) Stop() {
+	for _, p := range f.Procs {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck // already-dead is fine
+		}
+	}
+	for _, p := range f.Procs {
+		p.wait() //nolint:errcheck // exit status of a SIGTERMed daemon
+	}
+}
+
+// SpawnFleet starts n worker processes and waits until every one has
+// announced its listen address (readyTimeout each, 10s when zero).
+// newCmd builds worker i's command; SpawnFleet owns the command's stderr
+// (the announcement channel — do not set it). On any failure the already
+// started workers are stopped. logf, when non-nil, receives every worker
+// stderr line, prefixed, for test debugging.
+func SpawnFleet(n int, newCmd func(i int) *exec.Cmd, readyTimeout time.Duration, logf func(format string, args ...any)) (*Fleet, error) {
+	if readyTimeout <= 0 {
+		readyTimeout = 10 * time.Second
+	}
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		p, err := spawnWorker(i, newCmd(i), readyTimeout, logf)
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("distsweep: worker %d: %w", i, err)
+		}
+		f.Procs = append(f.Procs, p)
+	}
+	return f, nil
+}
+
+func spawnWorker(i int, cmd *exec.Cmd, readyTimeout time.Duration, logf func(format string, args ...any)) (*WorkerProc, error) {
+	if cmd.Stderr != nil {
+		return nil, fmt.Errorf("newCmd must leave Stderr unset (it is the ready-line channel)")
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &WorkerProc{cmd: cmd}
+
+	// Scan stderr for the announcement, then keep draining (a blocked
+	// pipe would wedge the worker's logging) and forward lines to logf.
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			if logf != nil {
+				logf("worker %d: %s", i, line)
+			}
+			if !announced {
+				if m := readyLine.FindStringSubmatch(line); m != nil {
+					announced = true
+					ready <- m[1]
+				}
+			}
+		}
+		close(ready)
+		io.Copy(io.Discard, stderr) //nolint:errcheck // drain after scanner limit
+	}()
+
+	select {
+	case url, ok := <-ready:
+		if !ok || url == "" {
+			w.Kill()
+			return nil, fmt.Errorf("exited before announcing a listen address")
+		}
+		w.URL = url
+		return w, nil
+	case <-time.After(readyTimeout):
+		w.Kill()
+		return nil, fmt.Errorf("no listen announcement within %v", readyTimeout)
+	}
+}

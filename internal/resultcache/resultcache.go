@@ -176,8 +176,12 @@ type Store struct {
 const StaleTempAge = time.Hour
 
 // Open creates (if needed) and returns the store rooted at dir, sweeping
-// any stale temp files an interrupted writer left behind. Warnings about
-// corrupt or unwritable entries go to os.Stderr until SetLog.
+// any stale temp files an interrupted writer left behind. An unreadable
+// root is an error, not a silent empty cache: a store that cannot list
+// its own directory would report every entry as a miss and re-simulate
+// the world, which is exactly the failure a caller wants surfaced at
+// open time. Warnings about corrupt or unreadable entries found later go
+// to os.Stderr until SetLog.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("resultcache: empty cache directory")
@@ -185,40 +189,63 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: %w", err)
 	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: unreadable cache directory: %w", err)
+	}
 	s := &Store{dir: dir}
 	var w io.Writer = os.Stderr
 	s.log.Store(&w)
-	if n := s.sweepStaleTemp(time.Now()); n > 0 {
-		s.Logf("removed %d stale temp file(s) left by an interrupted writer", n)
+	if n := s.sweepStaleTemp(ents, time.Now()); n > 0 {
+		s.Logf("removed %d stale temp/lease file(s) left by an interrupted writer", n)
 	}
 	return s, nil
 }
 
-// sweepStaleTemp removes tmp-* files in the store root older than
-// StaleTempAge relative to now and returns how many were removed. Entries
-// are only ever published by rename, so removing a temp file can never
-// lose a published result — at worst it reclaims a write that was going
-// to be repeated anyway.
-func (s *Store) sweepStaleTemp(now time.Time) int {
-	ents, err := os.ReadDir(s.dir)
-	if err != nil {
-		return 0
-	}
+// sweepStaleTemp removes debris older than StaleTempAge relative to now
+// and returns how many files were removed: tmp-* files in the store root
+// and in the fan-out subdirectories (orphaned by writers that died
+// between CreateTemp and Rename), plus long-expired .lease sentinels
+// (orphaned by claimants that died mid-cell after their lease already
+// served its TTL purpose). Entries are only ever published by rename, so
+// removing debris can never lose a published result. Unreadable fan-out
+// subdirectories are warned about, not skipped silently — they are the
+// same serve-nothing failure mode Open rejects for the root.
+func (s *Store) sweepStaleTemp(ents []os.DirEntry, now time.Time) int {
 	removed := 0
+	sweep := func(dir string, ents []os.DirEntry) {
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			stale := strings.HasPrefix(e.Name(), "tmp-") || strings.HasSuffix(e.Name(), ".lease")
+			if !stale {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if now.Sub(info.ModTime()) < StaleTempAge {
+				continue // possibly a live writer or claimant in another process
+			}
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	sweep(s.dir, ents)
 	for _, e := range ents {
-		if e.IsDir() || !strings.HasPrefix(e.Name(), "tmp-") {
+		if !e.IsDir() || len(e.Name()) != 2 {
 			continue
 		}
-		info, err := e.Info()
+		sub := filepath.Join(s.dir, e.Name())
+		subEnts, err := os.ReadDir(sub)
 		if err != nil {
+			s.Logf("unreadable entry directory %s: %v (its entries will all miss)", sub, err)
 			continue
 		}
-		if now.Sub(info.ModTime()) < StaleTempAge {
-			continue // possibly a live writer in another process
-		}
-		if os.Remove(filepath.Join(s.dir, e.Name())) == nil {
-			removed++
-		}
+		sweep(sub, subEnts)
 	}
 	return removed
 }

@@ -325,12 +325,16 @@ func TestSweepStaleTempCountsAndIgnoresYoung(t *testing.T) {
 	if err := os.WriteFile(young, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if n := st.sweepStaleTemp(time.Now()); n != 0 {
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := st.sweepStaleTemp(ents, time.Now()); n != 0 {
 		t.Fatalf("swept %d young temp files", n)
 	}
 	// The same file is stale from the perspective of a sufficiently
 	// future "now".
-	if n := st.sweepStaleTemp(time.Now().Add(2 * StaleTempAge)); n != 1 {
+	if n := st.sweepStaleTemp(ents, time.Now().Add(2*StaleTempAge)); n != 1 {
 		t.Fatalf("swept %d, want 1", n)
 	}
 }
@@ -350,5 +354,77 @@ func TestContainsProbesWithoutCounters(t *testing.T) {
 	s := st.Stats()
 	if s.Hits != 0 || s.Misses != 0 {
 		t.Fatalf("Contains touched counters: %+v", s)
+	}
+}
+
+// TestUnreadableEntryIsWarnedMiss pins the miss handling for entries whose
+// read fails with something other than not-exist. The portable variant
+// plants a regular file where the entry's fan-out *directory* should be,
+// so the read fails with ENOTDIR; the chmod variant (skipped when running
+// as root, which bypasses permission checks) is the literal
+// permission-denied case. Both must be a logged miss — never a panic,
+// never a silent one.
+func TestUnreadableEntryIsWarnedMiss(t *testing.T) {
+	st, log := openTest(t)
+	k := testKey(77)
+	// The entry's parent "directory" is a plain file: reads under it fail
+	// with ENOTDIR, which is not os.IsNotExist.
+	if err := os.WriteFile(filepath.Join(st.Dir(), k.Hash()[:2]), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(k); ok {
+		t.Fatal("Get through a non-directory reported a hit")
+	}
+	if !strings.Contains(log.String(), "unreadable entry") {
+		t.Fatalf("unreadable entry was swallowed silently; log: %q", log.String())
+	}
+	if s := st.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("stats after unreadable entry: %+v, want 1 miss", s)
+	}
+}
+
+func TestPermissionDeniedEntryIsWarnedMiss(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	st, log := openTest(t)
+	k := testKey(78)
+	if err := st.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(st.Dir(), k.Hash()[:2])
+	if err := os.Chmod(sub, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(sub, 0o755) })
+	if _, ok := st.Get(k); ok {
+		t.Fatal("Get from an unreadable directory reported a hit")
+	}
+	if !strings.Contains(log.String(), "unreadable entry") {
+		t.Fatalf("permission-denied miss was swallowed silently; log: %q", log.String())
+	}
+}
+
+// TestOpenRejectsUnreadableRoot pins the Open fix: a root whose listing
+// fails must be an error at open time, not a store that silently misses
+// on everything.
+func TestOpenRejectsUnreadableRoot(t *testing.T) {
+	parent := t.TempDir()
+	file := filepath.Join(parent, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file); err == nil {
+		t.Fatal("Open on a regular file succeeded")
+	}
+	if os.Geteuid() != 0 {
+		locked := filepath.Join(parent, "locked")
+		if err := os.Mkdir(locked, 0o000); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.Chmod(locked, 0o755) })
+		if _, err := Open(locked); err == nil {
+			t.Fatal("Open on an unreadable directory succeeded")
+		}
 	}
 }

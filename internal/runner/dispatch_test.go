@@ -1,0 +1,259 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDispatchCompletesAllItems(t *testing.T) {
+	var ran [40]atomic.Int32
+	m, err := Dispatch(context.Background(), 4, len(ran), func(_ context.Context, _, item int) error {
+		ran[item].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != len(ran) {
+		t.Fatalf("Completed=%d want %d", m.Completed, len(ran))
+	}
+	total := 0
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, ran[i].Load())
+		}
+	}
+	for _, c := range m.PerSlot {
+		total += c
+	}
+	if total != len(ran) {
+		t.Fatalf("PerSlot sums to %d, want %d", total, len(ran))
+	}
+}
+
+// TestDispatchRequeuesOnSlotFailure is the coordinator's worker-death
+// model: a slot that fails mid-item loses the item to a peer, claims
+// nothing further, and the dispatch still completes every item.
+func TestDispatchRequeuesOnSlotFailure(t *testing.T) {
+	const items = 30
+	var ran [items]atomic.Int32
+	var failed atomic.Bool
+	m, err := Dispatch(context.Background(), 3, items, func(_ context.Context, slot, item int) error {
+		if slot == 1 && failed.CompareAndSwap(false, true) {
+			return fmt.Errorf("connection refused: %w", ErrSlotFailed)
+		}
+		// Park the healthy slots until slot 1 has claimed an item and
+		// died — on a single-CPU host they would otherwise drain the
+		// whole queue before slot 1 is ever scheduled. Slot 1's first
+		// claim always fails, so this cannot deadlock.
+		for !failed.Load() {
+			time.Sleep(50 * time.Microsecond)
+		}
+		ran[item].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, ran[i].Load())
+		}
+	}
+	if m.SlotFailures != 1 {
+		t.Fatalf("SlotFailures=%d want 1", m.SlotFailures)
+	}
+	if m.PerSlot[1] > items-1 {
+		t.Fatalf("dead slot completed %d items", m.PerSlot[1])
+	}
+}
+
+func TestDispatchAllSlotsDeadErrors(t *testing.T) {
+	_, err := Dispatch(context.Background(), 2, 10, func(_ context.Context, _, _ int) error {
+		return ErrSlotFailed
+	})
+	if err == nil || !errors.Is(err, ErrSlotFailed) {
+		t.Fatalf("all-slots-dead dispatch returned %v", err)
+	}
+}
+
+func TestDispatchRetryItemKeepsSlotAlive(t *testing.T) {
+	var once atomic.Bool
+	m, err := Dispatch(context.Background(), 1, 3, func(_ context.Context, _, item int) error {
+		if item == 0 && once.CompareAndSwap(false, true) {
+			return fmt.Errorf("lease held: %w", ErrRetryItem)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries != 1 || m.Completed != 3 {
+		t.Fatalf("retries=%d completed=%d, want 1 and 3", m.Retries, m.Completed)
+	}
+}
+
+func TestDispatchAbortsOnUnclassifiedError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	_, err := Dispatch(context.Background(), 2, 100, func(_ context.Context, _, item int) error {
+		if item == 3 {
+			return boom
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("abort error = %v, want boom", err)
+	}
+	if ran.Load() == 100 {
+		t.Fatal("abort did not stop the dispatch")
+	}
+}
+
+func TestDispatchContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	m, err := Dispatch(ctx, 2, 1000, func(_ context.Context, _, _ int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled dispatch returned %v", err)
+	}
+	if m.Completed == 1000 {
+		t.Fatal("cancellation did not stop the dispatch")
+	}
+}
+
+// TestDispatchChaosProperty randomizes slot failures and retries and
+// asserts the invariant the distributed sweep rests on: as long as one
+// slot survives, every item completes exactly once (duplicates can only
+// arise from external steals, never from the queue itself).
+func TestDispatchChaosProperty(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		rng := rand.New(rand.NewSource(int64(round)))
+		slots := 2 + rng.Intn(5)
+		items := 1 + rng.Intn(60)
+		// Fail all but one slot at random points.
+		dieAt := make([]int32, slots)
+		for s := range dieAt {
+			if s == 0 {
+				dieAt[s] = -1 // immortal
+			} else {
+				dieAt[s] = int32(rng.Intn(10))
+			}
+		}
+		var claims [8]int32 // per-slot claim counters (max slots above)
+		ran := make([]int32, items)
+		m, err := Dispatch(context.Background(), slots, items, func(_ context.Context, slot, item int) error {
+			c := atomic.AddInt32(&claims[slot], 1)
+			if dieAt[slot] >= 0 && c > dieAt[slot] {
+				return ErrSlotFailed
+			}
+			if c%7 == 6 && slot == 0 && atomic.LoadInt32(&ran[item]) == 0 && item%13 == 5 {
+				return ErrRetryItem
+			}
+			atomic.AddInt32(&ran[item], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v (%s)", round, err, m)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("round %d: item %d ran %d times (%s)", round, i, c, m)
+			}
+		}
+		if m.Completed != items {
+			t.Fatalf("round %d: Completed=%d want %d", round, m.Completed, items)
+		}
+	}
+}
+
+// TestPoolClaimOrderProperty generalizes the example-based pool tests into
+// the property the resume contract rests on: under randomized priorities,
+// fan-out sizes, and cancellation points, the cells each Do call actually
+// executes are always exactly the index prefix [0, Completed) — never a
+// gap, never an out-of-order straggler. (Cells of one Do carry
+// consecutive sequence numbers at one priority, so workers claim them in
+// index order; a claimed cell always drains; after the first skip, every
+// later cell of that Do skips too.)
+func TestPoolClaimOrderProperty(t *testing.T) {
+	for round := 0; round < 12; round++ {
+		rng := rand.New(rand.NewSource(int64(1000 + round)))
+		p := NewPool(1 + rng.Intn(4))
+		fanouts := 2 + rng.Intn(5)
+		var wg sync.WaitGroup
+		for f := 0; f < fanouts; f++ {
+			n := 1 + rng.Intn(40)
+			pri := rng.Intn(3)
+			cancelAfter := -1 // no cancel
+			if rng.Intn(2) == 0 {
+				cancelAfter = rng.Intn(n)
+			}
+			wg.Add(1)
+			go func(n, pri, cancelAfter int) {
+				defer wg.Done()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var mu sync.Mutex
+				var ran []int
+				m, err := p.Do(ctx, pri, n, func(i int) {
+					mu.Lock()
+					ran = append(ran, i)
+					if cancelAfter >= 0 && len(ran) > cancelAfter {
+						cancel()
+					}
+					mu.Unlock()
+					// Deterministic per-cell jitter (the shared rng is not
+					// goroutine-safe and belongs to the generator loop).
+					time.Sleep(time.Duration(i*37%300) * time.Microsecond)
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if len(ran) != m.Completed {
+					t.Errorf("ran %d cells but Completed=%d", len(ran), m.Completed)
+					return
+				}
+				// The executed set must be exactly {0, …, Completed-1}.
+				seen := make([]bool, n)
+				for _, i := range ran {
+					if seen[i] {
+						t.Errorf("cell %d ran twice", i)
+						return
+					}
+					seen[i] = true
+				}
+				for i := 0; i < m.Completed; i++ {
+					if !seen[i] {
+						t.Errorf("executed set has a gap at %d (Completed=%d, ran=%v)", i, m.Completed, ran)
+						return
+					}
+				}
+				for i := m.Completed; i < n; i++ {
+					if seen[i] {
+						t.Errorf("cell %d ran beyond the completed prefix (Completed=%d)", i, m.Completed)
+						return
+					}
+				}
+				if cancelAfter < 0 && err != nil {
+					t.Errorf("uncancelled Do returned %v", err)
+				}
+				if cancelAfter < 0 && m.Completed != n {
+					t.Errorf("uncancelled Do completed %d of %d", m.Completed, n)
+				}
+			}(n, pri, cancelAfter)
+		}
+		wg.Wait()
+		p.Close()
+	}
+}

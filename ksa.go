@@ -26,11 +26,14 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os/exec"
+	"time"
 
 	"ksa/internal/cluster"
 	"ksa/internal/core"
 	"ksa/internal/corpus"
 	"ksa/internal/daemon"
+	"ksa/internal/distsweep"
 	"ksa/internal/fault"
 	"ksa/internal/fuzz"
 	"ksa/internal/platform"
@@ -331,3 +334,38 @@ func RunSweepContext(ctx context.Context, o SweepOptions) (SweepResult, error) {
 // ParseEnvSpec parses "native", "kvm-8", "docker-64", "lightvm-16" — the
 // inverse of EnvSpec.String, as accepted by sweep jobs on the wire.
 func ParseEnvSpec(s string) (EnvSpec, error) { return core.ParseEnvSpec(s) }
+
+// Distributed sweep layer (internal/distsweep): shard one sweep grid
+// across worker processes — locally spawned ksad daemons or remote URLs —
+// and merge cells in job-key order to the exact digest of a serial run.
+// Workers coordinate through the shared result cache's advisory leases;
+// a killed worker's cells are stolen after its lease TTL.
+type (
+	// DistSweepSpec is the distributed sweep's wire-friendly grid form.
+	DistSweepSpec = distsweep.Spec
+	// DistSweepOptions configures RunDistSweep (fleet, owner, lease TTL).
+	DistSweepOptions = distsweep.Options
+	// DistSweepResult is the merged sweep plus dispatch accounting.
+	DistSweepResult = distsweep.Result
+	// WorkerFleet is a set of locally spawned worker processes.
+	WorkerFleet = distsweep.Fleet
+	// CellSpec is the wire form of one worker-mode cell request.
+	CellSpec = daemon.CellSpec
+	// CellResult is the wire form of one completed cell.
+	CellResult = daemon.CellResult
+)
+
+// RunDistSweep executes a sweep across the worker fleet; the merged
+// result is bit-identical to a serial run for any worker count and any
+// pattern of worker death that leaves one worker alive.
+func RunDistSweep(ctx context.Context, o DistSweepOptions) (DistSweepResult, error) {
+	return distsweep.Run(ctx, o)
+}
+
+// SpawnWorkerFleet starts n local worker processes (newCmd builds worker
+// i's command, typically a ksad invocation with "-listen 127.0.0.1:0")
+// and waits for each to announce its bound address on stderr.
+func SpawnWorkerFleet(n int, newCmd func(i int) *exec.Cmd, readyTimeout time.Duration,
+	logf func(format string, args ...any)) (*WorkerFleet, error) {
+	return distsweep.SpawnFleet(n, newCmd, readyTimeout, logf)
+}

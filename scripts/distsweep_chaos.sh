@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Distributed-sweep chaos smoke: run a sweep grid serially for the oracle
+# digest, then shard the same grid across 4 ksad worker processes sharing
+# one cache directory, SIGKILL one worker mid-sweep, and assert
+#   (1) the distributed run completes with at least one slot failure,
+#   (2) its digest is byte-identical to the serial run,
+#   (3) a serial rerun against the shared cache is 100% hits on the same
+#       digest (the fleet's writes survived the chaos complete), and
+#   (4) the distributed wall clock beats the serial one by a sane margin
+#       (4 processes minus one casualty must still outrun 1).
+#
+# The default grid (8 envs x 8 trials, quick scale) keeps CI fast; the
+# paper-scale target — 64 envs x 100 trials across 4 processes — runs with
+#   KSA_CHAOS_ENVS=... KSA_CHAOS_TRIALS=100 scripts/distsweep_chaos.sh
+#
+# Usage: scripts/distsweep_chaos.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+scale="${KSA_CHAOS_SCALE:-quick}"
+envs="${KSA_CHAOS_ENVS:-native,kvm-2,kvm-4,kvm-8,docker-4,docker-8,docker-16,lightvm-4}"
+trials="${KSA_CHAOS_TRIALS:-8}"
+cells=$(( $(tr -cd , <<<"$envs" | wc -c) + 1 ))
+cells=$(( cells * trials ))
+
+echo "== distsweep chaos in $work (${cells} cells: $envs x $trials, scale=$scale)"
+go build -o "$work/ksad" ./cmd/ksad
+go build -o "$work/ksaexp" ./cmd/ksaexp
+
+# Serial oracle: one in-process worker, no cache — digest and wall clock.
+t0=$(date +%s%N)
+"$work/ksaexp" -exp sweep -serial -scale "$scale" -envs "$envs" -trials "$trials" >"$work/serial.txt"
+serial_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+serial_digest=$(awk '/^digest: /{print $2}' "$work/serial.txt")
+[ -n "$serial_digest" ] || { echo "no serial digest"; exit 1; }
+echo "== serial: ${serial_ms}ms, digest ${serial_digest:0:16}…"
+
+# Spawn the 4-worker fleet on kernel-assigned ports, sharing one cache.
+urls=()
+pids=()
+for i in 0 1 2 3; do
+  "$work/ksad" -listen 127.0.0.1:0 -quiet -cache "$work/cache" >"$work/worker$i.log" 2>&1 &
+  pids+=($!)
+done
+trap 'kill "${pids[@]}" 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+for i in 0 1 2 3; do
+  for _ in $(seq 100); do
+    grep -q 'listening on http://' "$work/worker$i.log" 2>/dev/null && break
+    sleep 0.05
+  done
+  url=$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' "$work/worker$i.log" | head -1)
+  [ -n "$url" ] || { echo "worker $i never announced its address"; cat "$work/worker$i.log"; exit 1; }
+  urls+=("$url")
+done
+echo "== fleet up: ${urls[*]}"
+
+# Distributed run with a mid-sweep SIGKILL of worker 2. The kill fires at
+# a fifth of the serial wall time — deep inside the distributed run.
+t0=$(date +%s%N)
+"$work/ksaexp" -exp sweep -scale "$scale" -envs "$envs" -trials "$trials" \
+  -worker-urls "$(IFS=,; echo "${urls[*]}")" >"$work/dist.txt" 2>"$work/dist.log" &
+sweep_pid=$!
+kill_after_ms=$(( serial_ms / 5 ))
+( sleep "$(awk "BEGIN{print $kill_after_ms/1000}")"; kill -9 "${pids[2]}" 2>/dev/null ) &
+killer_pid=$!
+wait "$sweep_pid" || { echo "distributed sweep failed"; cat "$work/dist.log"; exit 1; }
+dist_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+wait "$killer_pid" 2>/dev/null || true
+
+dist_digest=$(awk '/^digest: /{print $2}' "$work/dist.txt")
+failures=$(sed -n 's/.*, \([0-9]*\) slot failures.*/\1/p' "$work/dist.txt")
+[ "$dist_digest" = "$serial_digest" ] || { echo "digest mismatch: distributed $dist_digest vs serial $serial_digest"; exit 1; }
+[ "${failures:-0}" -ge 1 ] || { echo "SIGKILL left no slot failure (sweep finished before the kill? got '${failures:-none}')"; cat "$work/dist.txt"; exit 1; }
+echo "== chaos run: ${dist_ms}ms, $failures slot failure(s), digest identical"
+
+# Wall-clock sanity: 3 survivors must beat 1 serial worker. The bound is
+# deliberately loose (1.33x) against CI noise; healthy multi-core runs
+# land near 3x. On hosts with fewer cores than workers the processes
+# time-share one CPU and no speedup is physically possible, so the bound
+# only applies where the hardware can express it.
+cores=$(nproc)
+if [ "$cores" -ge 4 ]; then
+  [ $(( dist_ms * 4 )) -lt $(( serial_ms * 3 )) ] || {
+    echo "no distributed speedup on $cores cores: ${dist_ms}ms distributed vs ${serial_ms}ms serial"; exit 1; }
+  echo "== speedup: serial ${serial_ms}ms / distributed ${dist_ms}ms on $cores cores"
+else
+  echo "== speedup bound skipped: $cores core(s) < 4 workers (distributed ${dist_ms}ms, serial ${serial_ms}ms)"
+fi
+
+# Resume: the shared cache must now hold every cell, so a serial rerun
+# against it is all hits and reproduces the digest without simulating.
+"$work/ksaexp" -exp sweep -serial -scale "$scale" -envs "$envs" -trials "$trials" \
+  -cache "$work/cache" >"$work/resume.txt"
+resume_digest=$(awk '/^digest: /{print $2}' "$work/resume.txt")
+hits=$(sed -n 's/.*serial, \([0-9]*\) cache hit(s).*/\1/p' "$work/resume.txt")
+[ "$resume_digest" = "$serial_digest" ] || { echo "resume digest mismatch"; exit 1; }
+[ "${hits:-0}" -eq "$cells" ] || { echo "resume hit $hits of $cells cells; fleet cache incomplete"; exit 1; }
+echo "== resume from fleet cache: $hits/$cells hits, digest identical"
+
+echo "== distsweep chaos OK"
