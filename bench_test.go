@@ -108,6 +108,45 @@ func BenchmarkFigure4(b *testing.B) {
 	}
 }
 
+// BenchmarkDensitySweep runs the high-density serverless extension at a
+// small grid. With -benchmem it pins the scenario's allocation footprint,
+// which is dominated by the stats backend: the default sketch holds every
+// latency stream in a fixed histogram, so b/op stays flat as tenant counts
+// grow, where the exact backend's retained samples scale linearly (compare
+// with sc.ExactStats = true).
+func BenchmarkDensitySweep(b *testing.B) {
+	sc := ksa.QuickScale()
+	sc.DensityTenants = []int{400}
+	sc.RequestsPerTenant = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunDensity(sc)
+		if len(res.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkDensitySweepExact is BenchmarkDensitySweep on the exact
+// retained-sample backend — the pre-sketch behavior. The b/op delta against
+// the default benchmark is the memory the sketch removes at this small
+// scale; it grows linearly with DensityTenants while the default stays flat.
+func BenchmarkDensitySweepExact(b *testing.B) {
+	sc := ksa.QuickScale()
+	sc.DensityTenants = []int{400}
+	sc.RequestsPerTenant = 2
+	sc.ExactStats = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ksa.RunDensity(sc)
+		if len(res.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
 // BenchmarkEngine measures raw event dispatch through the unboxed 4-ary
 // heap: schedule-and-run batches at mixed timestamps, the access pattern
 // every simulation reduces to. Allocations here should be zero — the

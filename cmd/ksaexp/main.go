@@ -7,6 +7,12 @@
 //	       [-trace] [-fault name|list] [-remote url]
 //	ksaexp -exp sweep [-envs list] [-trials N] [-workers N] [-worker-urls list]
 //	       [-worker-bin path] [-scale ...] [-seed N] [-cache dir] [-fault name]
+//	ksaexp -exp density [-tenants list] [-requests N] [-exact-stats] [-scale ...]
+//
+// Every experiment reports wall time, simulated events, and the peak heap
+// high-water observed while it ran; -exact-stats swaps the bounded-memory
+// quantile sketch for exact retained samples (the oracle backend), which is
+// visible in that peak-heap line at density scale.
 //
 // Output is the textual analog of each table/figure; EXPERIMENTS.md records
 // a reference run side by side with the paper's numbers. -trace appends the
@@ -38,14 +44,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ksa"
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference or all (lightvm/ablation/blame/interference are extensions, not in 'all')")
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference,density or all (lightvm/ablation/blame/interference/density are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
@@ -61,6 +70,9 @@ func main() {
 	workerURLs := flag.String("worker-urls", "", "for -exp sweep: comma-separated base URLs of running ksad workers")
 	workerBin := flag.String("worker-bin", "", "for -exp sweep -workers: ksad binary (default: sibling of this executable, then $PATH)")
 	serial := flag.Bool("serial", false, "for -exp sweep: run the grid serially in-process instead of distributing — the digest oracle distributed runs are checked against")
+	tenants := flag.String("tenants", "", "for -exp density: comma-separated tenant counts (overrides the scale's grid)")
+	requests := flag.Int("requests", 0, "for -exp density: cold-start requests per tenant (0 = keep the scale's default)")
+	exactStats := flag.Bool("exact-stats", false, "retain every observation exactly instead of the bounded-memory quantile sketch (the memory-hungry oracle backend; changes cache keys, not simulations)")
 	flag.Parse()
 
 	if *faultName == "list" {
@@ -109,6 +121,22 @@ func main() {
 	}
 	sc.Cache = cache
 	sc.CacheVerify = *cacheVerify
+	sc.ExactStats = *exactStats
+	if *tenants != "" {
+		var grid []int
+		for _, t := range strings.Split(*tenants, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(t))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "ksaexp: bad -tenants entry %q\n", t)
+				os.Exit(2)
+			}
+			grid = append(grid, n)
+		}
+		sc.DensityTenants = grid
+	}
+	if *requests > 0 {
+		sc.RequestsPerTenant = *requests
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -152,15 +180,16 @@ func main() {
 		if cache != nil {
 			c0 = cache.Stats()
 		}
-		fn()
+		peak := peakHeap(fn)
 		wall := time.Since(t0)
 		ev := ksa.EventsExecuted() - ev0
 		if ev > 0 && wall > 0 {
-			fmt.Printf("[%s finished in %v — %.2fM events, %.2fM events/sec]\n",
+			fmt.Printf("[%s finished in %v — %.2fM events, %.2fM events/sec, peak heap %.1f MiB]\n",
 				name, wall.Round(time.Millisecond),
-				float64(ev)/1e6, float64(ev)/wall.Seconds()/1e6)
+				float64(ev)/1e6, float64(ev)/wall.Seconds()/1e6, float64(peak)/(1<<20))
 		} else {
-			fmt.Printf("[%s finished in %v]\n", name, wall.Round(time.Millisecond))
+			fmt.Printf("[%s finished in %v — peak heap %.1f MiB]\n",
+				name, wall.Round(time.Millisecond), float64(peak)/(1<<20))
 		}
 		if cache != nil {
 			if d := cache.Stats().Sub(c0); d.Lookups() > 0 {
@@ -219,6 +248,16 @@ func main() {
 			writeCSV("blame", func(f *os.File) error { return res.WriteCSV(f) })
 		})
 	}
+	if want["density"] {
+		run("density", func() {
+			res := ksa.RunDensity(sc)
+			fmt.Println(res.Render())
+			writeCSV("density", func(f *os.File) error {
+				_, err := f.WriteString(res.CSV())
+				return err
+			})
+		})
+	}
 	if want["interference"] {
 		run("interference", func() {
 			plan, ok := ksa.FaultPreset(*faultName)
@@ -239,6 +278,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksaexp: nothing selected by -exp %q\n", *exps)
 		os.Exit(2)
 	}
+}
+
+// peakHeap runs fn while sampling the runtime heap in the background and
+// returns the high-water HeapAlloc (bytes) observed. Millisecond-scale
+// polling misses sub-poll allocation spikes but captures the sustained
+// retained-data footprint — the quantity the sketch vs exact-stats backends
+// differ on by orders of magnitude at high tenant density.
+func peakHeap(fn func()) uint64 {
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			sample()
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	sample()
+	return peak.Load()
 }
 
 // flagWasSet reports whether the named flag appeared on the command line

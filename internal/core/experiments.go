@@ -76,6 +76,19 @@ type Scale struct {
 	Nodes             int
 	ClusterIterations int
 	RequestsPerIter   int
+
+	// ExactStats selects the retain-every-observation sample backend for
+	// varbench runs instead of the default bounded-memory quantile sketch
+	// (the -exact-stats flag). Part of the cache key via the options
+	// fingerprint.
+	ExactStats bool
+
+	// High-density serverless scenario (ksaexp -exp density).
+	// DensityTenants lists the ephemeral-tenant counts to sweep; nil uses
+	// the per-scale default grid. RequestsPerTenant is how many cold-start
+	// program executions each tenant replays after its kernel boots.
+	DensityTenants    []int
+	RequestsPerTenant int
 }
 
 // DefaultScale returns the standard experiment scale.
@@ -90,6 +103,8 @@ func DefaultScale() Scale {
 		Nodes:             64,
 		ClusterIterations: 6,
 		RequestsPerIter:   150,
+		DensityTenants:    []int{1000, 4000, 10000},
+		RequestsPerTenant: 3,
 	}
 }
 
@@ -105,6 +120,8 @@ func QuickScale() Scale {
 		Nodes:             8,
 		ClusterIterations: 2,
 		RequestsPerIter:   40,
+		DensityTenants:    []int{200, 500},
+		RequestsPerTenant: 2,
 	}
 }
 
@@ -116,7 +133,8 @@ func (sc Scale) GenerateCorpus() (*corpus.Corpus, fuzz.Stats) {
 }
 
 func (sc Scale) vbOptions() varbench.Options {
-	return varbench.Options{Iterations: sc.Iterations, Warmup: sc.Warmup, Seed: sc.Seed}
+	return varbench.Options{Iterations: sc.Iterations, Warmup: sc.Warmup, Seed: sc.Seed,
+		ExactStats: sc.ExactStats}
 }
 
 // exec resolves the executor fan-outs run on: the shared one when set,

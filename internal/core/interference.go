@@ -53,15 +53,21 @@ func interferenceEnvs() []EnvSpec {
 }
 
 // pooledLatencies pools every call site's recorded latencies into one
-// sample (µs).
+// sample (µs). Sketch-backed sites merge by integer count addition, so the
+// pool is identical for any site order; exact-backed sites replay their
+// sorted values.
 func pooledLatencies(r *varbench.Result) *stats.Sample {
 	n := 0
 	for _, sr := range r.Sites {
 		n += sr.Sample.Len()
 	}
-	pool := stats.NewSample(n)
+	var proto *stats.Sample
+	if len(r.Sites) > 0 {
+		proto = r.Sites[0].Sample
+	}
+	pool := stats.NewSampleLike(proto, n)
 	for _, sr := range r.Sites {
-		pool.AddAll(sr.Sample.Values())
+		pool.Merge(sr.Sample)
 	}
 	return pool
 }

@@ -132,7 +132,7 @@ func SweepCached(o SweepOptions) (*corpus.Corpus, bool) {
 // dispatches, in canonical order.
 func ExperimentNames() []string {
 	return []string{"table1", "table2", "fig2", "table3", "fig3", "fig4",
-		"lightvm", "ablation", "interference"}
+		"lightvm", "ablation", "interference", "density"}
 }
 
 // RunExperimentContext runs one named paper experiment (see
@@ -174,6 +174,9 @@ func RunExperimentContext(ctx context.Context, sc Scale, name, faultName string)
 			return "", fmt.Errorf("unknown fault preset %q", faultName)
 		}
 		r, err := RunInterferenceContext(ctx, sc, plan)
+		return renderOr(r.Render, err)
+	case "density":
+		r, err := RunDensityContext(ctx, sc)
 		return renderOr(r.Render, err)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (want one of %s)",

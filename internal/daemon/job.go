@@ -24,7 +24,8 @@ type JobSpec struct {
 	// (one named paper table/figure).
 	Type string `json:"type"`
 	// Exp names the paper experiment for Type "experiment" (table1,
-	// table2, fig2, table3, fig3, fig4, lightvm, ablation, interference).
+	// table2, fig2, table3, fig3, fig4, lightvm, ablation, interference,
+	// density).
 	Exp string `json:"exp,omitempty"`
 	// Scale is "quick" or "default" (the default).
 	Scale string `json:"scale,omitempty"`

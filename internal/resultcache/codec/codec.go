@@ -4,10 +4,12 @@
 // serializes results, so this package is the single place their on-disk
 // shape lives.
 //
-// Encodings are canonical: samples are written in sorted order (the order
-// every downstream statistic is computed from), integers are fixed-width
-// little-endian, and floats are IEEE-754 bit patterns. Encode(Decode(b))
-// therefore reproduces b exactly, which is what lets -cache-verify assert
+// Encodings are canonical: exact samples are written in sorted order (the
+// order every downstream statistic is computed from), sketch samples as
+// their trimmed count window (the sketch's canonical state, identical for
+// any insertion or merge order), integers are fixed-width little-endian,
+// and floats are IEEE-754 bit patterns. Encode(Decode(b)) therefore
+// reproduces b exactly, which is what lets -cache-verify assert
 // byte-equality between a stored entry and a recomputation — a standing
 // bit-identity audit of published numbers.
 //
@@ -31,8 +33,9 @@ import (
 
 // Format versions. Bump on any layout change; old entries then miss.
 const (
-	// ResultVersion versions the varbench.Result encoding.
-	ResultVersion = 1
+	// ResultVersion versions the varbench.Result encoding. v2 added the
+	// per-site backend tag (exact values vs sketch window).
+	ResultVersion = 2
 	// ClusterVersion versions the cluster.Result encoding.
 	ClusterVersion = 1
 )
@@ -42,10 +45,18 @@ const (
 	clusterMagic = "KSCL"
 )
 
+// Per-site sample backend tags in the v2 result encoding.
+const (
+	sampleTagExact  = 0 // sorted retained values
+	sampleTagSketch = 1 // canonical sketch state
+)
+
 // EncodeResult renders a varbench.Result in the versioned binary form.
-// Sample values are written sorted (their canonical order), so two results
-// that agree on every order statistic encode identically. Results carrying
-// tracers cannot round-trip; callers must not cache traced runs.
+// Exact sample values are written sorted (their canonical order), sketch
+// samples as their trimmed window, so two results that agree on every
+// statistic encode identically regardless of insertion or merge order.
+// Results carrying tracers cannot round-trip; callers must not cache
+// traced runs.
 func EncodeResult(r *varbench.Result) []byte {
 	w := writer{buf: make([]byte, 0, 1024)}
 	w.bytes([]byte(resultMagic))
@@ -58,6 +69,20 @@ func EncodeResult(r *varbench.Result) []byte {
 		w.u32(uint32(sr.Site.Program))
 		w.u32(uint32(sr.Site.Call))
 		w.u32(uint32(sr.Syscall))
+		if sk := sr.Sample.Sketch(); sk != nil {
+			w.u8(sampleTagSketch)
+			base, counts, zero, min, max := sk.Parts()
+			w.u64(zero)
+			w.u64(math.Float64bits(min))
+			w.u64(math.Float64bits(max))
+			w.u32(uint32(base))
+			w.u32(uint32(len(counts)))
+			for _, c := range counts {
+				w.u64(c)
+			}
+			continue
+		}
+		w.u8(sampleTagExact)
 		vals := sr.Sample.Values()
 		w.u32(uint32(len(vals)))
 		for _, v := range vals {
@@ -94,16 +119,50 @@ func DecodeResult(b []byte) (*varbench.Result, error) {
 		prog := int(r.u32())
 		call := int(r.u32())
 		sys := r.u32()
-		n := int(r.u32())
+		tag := r.u8()
 		if r.err != nil {
 			return nil, r.err
 		}
-		if n < 0 || n > r.remaining()/8 {
-			return nil, fmt.Errorf("codec: site %d: implausible sample length %d", i, n)
-		}
-		smp := stats.NewSample(n)
-		for j := 0; j < n; j++ {
-			smp.Add(math.Float64frombits(r.u64()))
+		var smp *stats.Sample
+		switch tag {
+		case sampleTagExact:
+			n := int(r.u32())
+			if r.err != nil {
+				return nil, r.err
+			}
+			if n < 0 || n > r.remaining()/8 {
+				return nil, fmt.Errorf("codec: site %d: implausible sample length %d", i, n)
+			}
+			smp = stats.NewExactSample(n)
+			for j := 0; j < n; j++ {
+				smp.Add(math.Float64frombits(r.u64()))
+			}
+		case sampleTagSketch:
+			zero := r.u64()
+			min := math.Float64frombits(r.u64())
+			max := math.Float64frombits(r.u64())
+			base := int(int32(r.u32()))
+			wlen := int(r.u32())
+			if r.err != nil {
+				return nil, r.err
+			}
+			if wlen < 0 || wlen > r.remaining()/8 {
+				return nil, fmt.Errorf("codec: site %d: implausible sketch window %d", i, wlen)
+			}
+			counts := make([]uint64, wlen)
+			for j := range counts {
+				counts[j] = r.u64()
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			sk, err := stats.SketchFromParts(base, counts, zero, min, max)
+			if err != nil {
+				return nil, fmt.Errorf("codec: site %d: %v", i, err)
+			}
+			smp = stats.SampleFromSketch(sk)
+		default:
+			return nil, fmt.Errorf("codec: site %d: unknown sample tag %d", i, tag)
 		}
 		sites = append(sites, varbench.SiteResult{
 			Site:    varbench.Site{Program: prog, Call: call},

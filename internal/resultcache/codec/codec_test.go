@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/hex"
 	"math"
+	"os"
+	"strings"
 	"testing"
 
 	"ksa/internal/cluster"
@@ -99,31 +101,45 @@ func TestResultRoundTripRealRun(t *testing.T) {
 	}
 }
 
-// TestResultGolden pins the byte-exact v1 encoding. If this test fails the
-// format changed: bump ResultVersion (and resultcache.CodeVersion) instead
-// of updating the golden in place.
+// goldenBytes loads a pinned encoding from testdata (hex, one line).
+func goldenBytes(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	b, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("bad golden %s: %v", name, err)
+	}
+	return b
+}
+
+// TestResultGolden pins the byte-exact v2 encoding of sketch-backed sites
+// (the default backend; the sketch's dense count window makes the payload
+// too large for an inline constant, so it lives in testdata). If this test
+// fails the format changed: bump ResultVersion (and resultcache.CodeVersion)
+// instead of updating the golden in place.
 func TestResultGolden(t *testing.T) {
 	enc := EncodeResult(smallResult())
-	want, err := hex.DecodeString(goldenResultHex)
-	if err != nil {
-		t.Fatalf("bad golden: %v", err)
-	}
-	if !bytes.Equal(enc, want) {
-		t.Fatalf("encoding drifted from golden v1:\n got %x\nwant %x", enc, want)
+	if want := goldenBytes(t, "golden_result_v2.hex"); !bytes.Equal(enc, want) {
+		t.Fatalf("encoding drifted from golden v2:\n got %x\nwant %x", enc, want)
 	}
 }
 
-// goldenResultHex is the pinned v1 encoding of smallResult.
-const goldenResultHex = "4b5356420108000000" + // magic "KSVB", v1, len("kvm-4x16")
-	"6b766d2d34783136" + // "kvm-4x16"
-	"4000000014000000" + // cores=64, iterations=20
-	"02000000" + // 2 sites
-	"000000000000000007000000" + // site (0,0) syscall 7
-	"03000000" + // 3 values (sorted: 0.5, 1.5, 2.25)
-	"000000000000e03f" + "000000000000f83f" + "0000000000000240" +
-	"03000000020000007b000000" + // site (3,2) syscall 123
-	"02000000" + // 2 values
-	"0000000000002440" + "0000000000085940" // 10, 100.125
+// TestResultGoldenExact pins the v2 encoding of an exact-backed site (tag
+// 0), the Options.ExactStats oracle path.
+func TestResultGoldenExact(t *testing.T) {
+	s := stats.NewExactSample(2)
+	s.AddAll([]float64{2.25, 0.5})
+	r := varbench.NewResult("native", 1, 1, []varbench.SiteResult{
+		{Site: varbench.Site{}, Syscall: 7, Sample: s},
+	})
+	enc := EncodeResult(r)
+	if want := goldenBytes(t, "golden_exact_v2.hex"); !bytes.Equal(enc, want) {
+		t.Fatalf("exact encoding drifted from golden v2:\n got %x\nwant %x", enc, want)
+	}
+}
 
 func TestClusterRoundTrip(t *testing.T) {
 	r := &cluster.Result{
@@ -236,7 +252,7 @@ func TestFloatBitsPreserved(t *testing.T) {
 	// bit patterns (including subnormals and extreme magnitudes), not just
 	// approximate values.
 	vals := []float64{0, math.SmallestNonzeroFloat64, 1e-300, 0.1, 1e300, math.MaxFloat64}
-	s := stats.NewSample(len(vals))
+	s := stats.NewExactSample(len(vals))
 	s.AddAll(vals)
 	r := varbench.NewResult("native", 1, 1, []varbench.SiteResult{
 		{Site: varbench.Site{}, Syscall: 1, Sample: s},
@@ -250,5 +266,53 @@ func TestFloatBitsPreserved(t *testing.T) {
 		if math.Float64bits(got[i]) != math.Float64bits(v) {
 			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(v))
 		}
+	}
+}
+
+// TestDecodeRejectsBadSketch hand-assembles structurally damaged sketch
+// sites: the decoder must reject an untrimmed window, an out-of-range
+// base, and an unknown backend tag with an error, never a panic.
+func TestDecodeRejectsBadSketch(t *testing.T) {
+	build := func(mutate func(w *writer)) []byte {
+		w := writer{}
+		w.bytes([]byte(resultMagic))
+		w.u8(ResultVersion)
+		w.str("native")
+		w.u32(1) // cores
+		w.u32(1) // iterations
+		w.u32(1) // sites
+		w.u32(0) // program
+		w.u32(0) // call
+		w.u32(7) // syscall
+		mutate(&w)
+		return w.buf
+	}
+	sketchSite := func(base uint32, counts ...uint64) func(w *writer) {
+		return func(w *writer) {
+			w.u8(1)    // sketch tag
+			w.u64(0)   // zero bucket
+			w.u64(math.Float64bits(1))
+			w.u64(math.Float64bits(2))
+			w.u32(base)
+			w.u32(uint32(len(counts)))
+			for _, c := range counts {
+				w.u64(c)
+			}
+		}
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"untrimmed-window", build(sketchSite(100, 0, 5))},
+		{"base-out-of-range", build(sketchSite(1 << 30, 1))},
+		{"unknown-tag", build(func(w *writer) { w.u8(9) })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeResult(tc.b); err == nil {
+				t.Fatal("damaged sketch site decoded without error")
+			}
+		})
 	}
 }

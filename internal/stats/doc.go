@@ -1,16 +1,25 @@
 // Package stats provides the statistical machinery the paper's analysis
-// relies on: exact quantiles over latency samples, the decade-bucket
-// breakdowns of Tables 2 and 3, and the violin summaries of Figure 2.
+// relies on: quantiles over latency samples, the decade-bucket breakdowns
+// of Tables 2 and 3, and the violin summaries of Figure 2.
 //
 // Latencies are carried as float64 microseconds, matching the units the
 // paper reports (1µs / 10µs / 100µs / 1ms / 10ms buckets).
 //
-// Order statistics (Quantile, Median, P99, Min, Max and the sorted Values
-// view) are exact and depend only on the multiset of observations, not on
-// insertion order. Downstream layers lean on that: the result-cache codec
-// serializes samples in sorted (canonical) order, and every statistic a
-// cached experiment reports is an order statistic, which is why a cache
-// round-trip reproduces published tables bit-for-bit. Mean and Stddev are
-// the one insertion-order-sensitive pair (float accumulation order); they
-// are used only by the uncached tailbench path.
+// Sample is a two-backend facade. The default backend is Sketch, a
+// fixed-size deterministic mergeable log-linear histogram: memory stays
+// bounded (≤64 KiB) regardless of observation count, Min/Max are exact,
+// and quantiles/Mean/Stddev are within SketchRelError (1/128 ≈ 0.78%)
+// relative of exact. NewExactSample keeps the pre-sketch retain-everything
+// mode, selected per run via varbench.Options.ExactStats; it serves as the
+// oracle the sketch is property- and fuzz-tested against.
+//
+// Every statistic either backend reports depends only on the multiset of
+// observations, never on insertion order: the exact backend sorts lazily,
+// and the sketch accumulates integer bucket counts and computes moments in
+// fixed bucket order at query time. Sketch merges add counts, so they are
+// exactly commutative and associative — the property the distributed
+// sweep's job-key-order merge and the result cache's canonical encodings
+// (codec serializes exact samples in sorted order and sketches as their
+// trimmed count window) rely on for bit-identical results across serial,
+// parallel, and distributed execution.
 package stats

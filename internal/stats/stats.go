@@ -6,25 +6,78 @@ import (
 	"sort"
 )
 
-// Sample is a mutable collection of observations (microseconds).
+// Sample is a mutable collection of observations (microseconds), backed by
+// one of two interchangeable engines behind the same query API:
 //
-// Order statistics (Quantile, Median, P99, Min, Max, Values) sort lazily
-// and cache the sorted state; Add/AddAll invalidate the cache only when
-// they actually break the order, so the per-site p50/p99/max table
-// computations sort each site at most once, and monotone merge streams
-// never re-sort at all.
+//   - Sketch (the default, NewSample): a fixed-size mergeable log-linear
+//     histogram. Memory is bounded regardless of observation count, Min and
+//     Max are exact, and every other statistic is within SketchRelError
+//     relative of the exact value. This is what lets the high-density
+//     scenarios record hundreds of millions of events without retaining
+//     them.
+//   - Exact (NewExactSample, varbench.Options.ExactStats): every
+//     observation retained in a []float64, the pre-sketch behavior. Order
+//     statistics sort lazily and cache the sorted state; Add/AddAll
+//     invalidate the cache only when they actually break the order, so
+//     monotone merge streams never re-sort. Kept as the oracle the sketch
+//     is property- and fuzz-tested against, and for workflows that need
+//     exact tails.
+//
+// The two modes produce different cache entries: varbench's options
+// fingerprint includes the stats mode, so a sketch-backed run never
+// collides with an exact-backed one in the result cache.
 type Sample struct {
 	vals   []float64
 	sorted bool
+	sk     *Sketch // nil ⇒ exact backend
 }
 
-// NewSample returns an empty sample with the given capacity hint.
+// NewSample returns an empty sketch-backed sample. The capacity hint is
+// accepted for call-site compatibility; the sketch's footprint is bounded
+// and grows only with the value range, not the observation count.
 func NewSample(capacity int) *Sample {
+	_ = capacity
+	return &Sample{sk: NewSketch()}
+}
+
+// NewExactSample returns an empty sample that retains every observation
+// exactly, with the given capacity hint.
+func NewExactSample(capacity int) *Sample {
 	return &Sample{vals: make([]float64, 0, capacity), sorted: true}
 }
 
+// NewSampleLike returns an empty sample with the same backend as proto
+// (sketch-backed when proto is nil), so pooling layers preserve the mode
+// chosen by Options.ExactStats.
+func NewSampleLike(proto *Sample, capacity int) *Sample {
+	if proto != nil && proto.Exact() {
+		return NewExactSample(capacity)
+	}
+	return NewSample(capacity)
+}
+
+// SampleFromSketch wraps an existing sketch (e.g. decoded from the result
+// cache) as a Sample. The sketch is adopted, not copied.
+func SampleFromSketch(k *Sketch) *Sample {
+	if k == nil {
+		k = NewSketch()
+	}
+	return &Sample{sk: k}
+}
+
+// Exact reports whether the sample retains observations exactly.
+func (s *Sample) Exact() bool { return s.sk == nil }
+
+// Sketch returns the underlying sketch, or nil for exact samples. The
+// codec uses it to serialize the canonical sketch state.
+func (s *Sample) Sketch() *Sketch { return s.sk }
+
 // Add appends one observation.
 func (s *Sample) Add(v float64) {
+	if s.sk != nil {
+		s.sk.Add(v)
+		return
+	}
 	if s.sorted && len(s.vals) > 0 && v < s.vals[len(s.vals)-1] {
 		s.sorted = false
 	}
@@ -33,6 +86,12 @@ func (s *Sample) Add(v float64) {
 
 // AddAll appends many observations.
 func (s *Sample) AddAll(vs []float64) {
+	if s.sk != nil {
+		for _, v := range vs {
+			s.sk.Add(v)
+		}
+		return
+	}
 	if s.sorted {
 		last := math.Inf(-1)
 		if len(s.vals) > 0 {
@@ -49,12 +108,69 @@ func (s *Sample) AddAll(vs []float64) {
 	s.vals = append(s.vals, vs...)
 }
 
-// Len returns the number of observations.
-func (s *Sample) Len() int { return len(s.vals) }
+// Merge folds the other sample's observations into s. Sketch→sketch merges
+// are exact integer-count merges (commutative, associative, bit-identical
+// in any order); mixed-backend merges degrade to replaying the other
+// side's distinct values.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil {
+		return
+	}
+	if s.sk != nil && o.sk != nil {
+		s.sk.Merge(o.sk)
+		return
+	}
+	if s.sk == nil && o.sk == nil {
+		s.AddAll(o.Values())
+		return
+	}
+	o.Each(func(v float64, count uint64) {
+		if s.sk != nil {
+			s.sk.AddN(v, count)
+			return
+		}
+		for i := uint64(0); i < count; i++ {
+			s.Add(v)
+		}
+	})
+}
 
-// Values returns the observations in sorted order. The returned slice is
-// owned by the Sample and must not be modified.
+// Each visits the sample's distinct values in ascending order with their
+// multiplicities — the canonical weighted view both backends share, used
+// by the violin KDE. For exact samples every retained observation is
+// visited with count 1.
+func (s *Sample) Each(fn func(v float64, count uint64)) {
+	if s.sk != nil {
+		s.sk.Each(fn)
+		return
+	}
+	for _, v := range s.Values() {
+		fn(v, 1)
+	}
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int {
+	if s.sk != nil {
+		return int(s.sk.N())
+	}
+	return len(s.vals)
+}
+
+// Values returns the observations in sorted order. For sketch-backed
+// samples this materializes each observation at its bucket representative
+// (allocating; meant for tests and small summaries, not hot paths). The
+// returned slice is owned by the Sample and must not be modified.
 func (s *Sample) Values() []float64 {
+	if s.sk != nil {
+		out := make([]float64, 0, s.sk.N())
+		s.sk.Each(func(v float64, count uint64) {
+			for i := uint64(0); i < count; i++ {
+				out = append(out, v)
+			}
+		})
+		return out
+	}
 	s.sort()
 	return s.vals
 }
@@ -67,12 +183,17 @@ func (s *Sample) sort() {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
-// between order statistics. On an empty sample it returns NaN: filtered
-// ablations (e.g. fault-injection runs restricted to a site subset) can
-// legitimately produce empty per-site samples, and NaN propagates visibly
-// through downstream arithmetic where a panic would kill the whole sweep.
-// Out-of-range q still panics — that is always a harness bug.
+// between order statistics (bucket representatives on the sketch backend,
+// within SketchRelError of exact). On an empty sample it returns NaN:
+// filtered ablations (e.g. fault-injection runs restricted to a site
+// subset) can legitimately produce empty per-site samples, and NaN
+// propagates visibly through downstream arithmetic where a panic would
+// kill the whole sweep. Out-of-range q still panics — that is always a
+// harness bug.
 func (s *Sample) Quantile(q float64) float64 {
+	if s.sk != nil {
+		return s.sk.Quantile(q)
+	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
 	}
@@ -99,9 +220,12 @@ func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 // P99 returns the 0.99 quantile, the paper's headline tail metric.
 func (s *Sample) P99() float64 { return s.Quantile(0.99) }
 
-// Max returns the worst-case observation, or NaN for an empty sample
-// (consistent with Quantile).
+// Max returns the worst-case observation (exact on both backends), or NaN
+// for an empty sample (consistent with Quantile).
 func (s *Sample) Max() float64 {
+	if s.sk != nil {
+		return s.sk.Max()
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -109,8 +233,12 @@ func (s *Sample) Max() float64 {
 	return s.vals[len(s.vals)-1]
 }
 
-// Min returns the best-case observation, or NaN for an empty sample.
+// Min returns the best-case observation (exact on both backends), or NaN
+// for an empty sample.
 func (s *Sample) Min() float64 {
+	if s.sk != nil {
+		return s.sk.Min()
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -120,6 +248,9 @@ func (s *Sample) Min() float64 {
 
 // Mean returns the arithmetic mean, or NaN for an empty sample.
 func (s *Sample) Mean() float64 {
+	if s.sk != nil {
+		return s.sk.Mean()
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -130,8 +261,16 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.vals))
 }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation, or NaN for an empty
+// sample (explicitly, matching the Quantile NaN contract rather than
+// relying on NaN propagation through Mean).
 func (s *Sample) Stddev() float64 {
+	if s.sk != nil {
+		return s.sk.Stddev()
+	}
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
 	m := s.Mean()
 	var ss float64
 	for _, v := range s.vals {
@@ -142,8 +281,11 @@ func (s *Sample) Stddev() float64 {
 }
 
 // CoV returns the coefficient of variation (stddev/mean), a scale-free
-// variability measure.
+// variability measure: NaN for an empty sample, 0 when the mean is zero.
 func (s *Sample) CoV() float64 {
+	if s.Len() == 0 {
+		return math.NaN()
+	}
 	m := s.Mean()
 	if m == 0 {
 		return 0
@@ -153,6 +295,10 @@ func (s *Sample) CoV() float64 {
 
 // Reset discards all observations but keeps the allocation.
 func (s *Sample) Reset() {
+	if s.sk != nil {
+		s.sk.Reset()
+		return
+	}
 	s.vals = s.vals[:0]
 	s.sorted = true
 }

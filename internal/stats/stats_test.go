@@ -7,10 +7,20 @@ import (
 	"testing/quick"
 )
 
+// sampleOf builds an exact-backend sample: most tests in this file assert
+// exact order-statistic semantics, which is what the exact backend (the
+// sketch's oracle) guarantees. Sketch-backend behavior is covered by
+// sketch_test.go and the both-backend tests below.
 func sampleOf(vs ...float64) *Sample {
-	s := NewSample(len(vs))
+	s := NewExactSample(len(vs))
 	s.AddAll(vs)
 	return s
+}
+
+// bothBackends runs a subtest against each Sample backend.
+func bothBackends(t *testing.T, fn func(t *testing.T, newSample func(int) *Sample)) {
+	t.Run("sketch", func(t *testing.T) { fn(t, NewSample) })
+	t.Run("exact", func(t *testing.T) { fn(t, NewExactSample) })
 }
 
 func TestQuantileExact(t *testing.T) {
@@ -63,29 +73,35 @@ func TestQuantilePanics(t *testing.T) {
 
 func TestEmptySampleIsNaN(t *testing.T) {
 	// Empty samples are legitimate (filtered fault-injection ablations can
-	// produce them), so every order statistic returns NaN rather than
-	// panicking — NaN propagates visibly through downstream arithmetic.
-	s := NewSample(0)
-	for name, fn := range map[string]func() float64{
-		"Quantile": func() float64 { return s.Quantile(0.5) },
-		"Median":   s.Median,
-		"P99":      s.P99,
-		"Max":      s.Max,
-		"Min":      s.Min,
-		"Mean":     s.Mean,
-		"Stddev":   s.Stddev,
-		"CoV":      s.CoV,
-	} {
-		if got := fn(); !math.IsNaN(got) {
-			t.Errorf("empty %s = %v, want NaN", name, got)
+	// produce them), so every statistic — including Stddev and CoV, which
+	// return NaN explicitly rather than via propagation through Mean —
+	// returns NaN rather than panicking on both backends.
+	bothBackends(t, func(t *testing.T, newSample func(int) *Sample) {
+		s := newSample(0)
+		for name, fn := range map[string]func() float64{
+			"Quantile": func() float64 { return s.Quantile(0.5) },
+			"Median":   s.Median,
+			"P99":      s.P99,
+			"Max":      s.Max,
+			"Min":      s.Min,
+			"Mean":     s.Mean,
+			"Stddev":   s.Stddev,
+			"CoV":      s.CoV,
+		} {
+			if got := fn(); !math.IsNaN(got) {
+				t.Errorf("empty %s = %v, want NaN", name, got)
+			}
 		}
-	}
-	// NaN-ness must survive Reset (the zero-length state is re-entered).
-	s.Add(3)
-	s.Reset()
-	if !math.IsNaN(s.Max()) {
-		t.Errorf("Max after Reset = %v, want NaN", s.Max())
-	}
+		// NaN-ness must survive Reset (the zero-length state is re-entered).
+		s.Add(3)
+		s.Reset()
+		if !math.IsNaN(s.Max()) {
+			t.Errorf("Max after Reset = %v, want NaN", s.Max())
+		}
+		if !math.IsNaN(s.Stddev()) || !math.IsNaN(s.CoV()) {
+			t.Errorf("Stddev/CoV after Reset = %v/%v, want NaN", s.Stddev(), s.CoV())
+		}
+	})
 }
 
 func TestMinMaxMeanStddev(t *testing.T) {
@@ -105,9 +121,13 @@ func TestMinMaxMeanStddev(t *testing.T) {
 }
 
 func TestCoVZeroMean(t *testing.T) {
-	if got := sampleOf(0, 0, 0).CoV(); got != 0 {
-		t.Errorf("CoV of zeros = %v", got)
-	}
+	bothBackends(t, func(t *testing.T, newSample func(int) *Sample) {
+		s := newSample(3)
+		s.AddAll([]float64{0, 0, 0})
+		if got := s.CoV(); got != 0 {
+			t.Errorf("CoV of zeros = %v", got)
+		}
+	})
 }
 
 func TestSampleReset(t *testing.T) {
@@ -131,26 +151,30 @@ func TestAddAfterSortStaysCorrect(t *testing.T) {
 	}
 }
 
-// Property: quantiles are monotone in q and bounded by min/max.
+// Property: quantiles are monotone in q and bounded by min/max, on both
+// backends (the sketch clamps interpolated representatives into the exact
+// observed range, so the bound holds there too).
 func TestQuantileMonotoneProperty(t *testing.T) {
-	if err := quick.Check(func(raw []uint16, qa, qb uint8) bool {
-		if len(raw) == 0 {
-			return true
+	bothBackends(t, func(t *testing.T, newSample func(int) *Sample) {
+		if err := quick.Check(func(raw []uint16, qa, qb uint8) bool {
+			if len(raw) == 0 {
+				return true
+			}
+			s := newSample(len(raw))
+			for _, v := range raw {
+				s.Add(float64(v))
+			}
+			q1 := float64(qa%101) / 100
+			q2 := float64(qb%101) / 100
+			if q1 > q2 {
+				q1, q2 = q2, q1
+			}
+			v1, v2 := s.Quantile(q1), s.Quantile(q2)
+			return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
 		}
-		s := NewSample(len(raw))
-		for _, v := range raw {
-			s.Add(float64(v))
-		}
-		q1 := float64(qa%101) / 100
-		q2 := float64(qb%101) / 100
-		if q1 > q2 {
-			q1, q2 = q2, q1
-		}
-		v1, v2 := s.Quantile(q1), s.Quantile(q2)
-		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
-	}, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
 func TestBreakdownOf(t *testing.T) {
@@ -405,7 +429,7 @@ func naiveQuantile(vals []float64, q float64) float64 {
 // invalidation path.
 func TestQuantileCachePropertyVsNaive(t *testing.T) {
 	if err := quick.Check(func(ops []uint16, qs []uint8) bool {
-		s := NewSample(0)
+		s := NewExactSample(0)
 		var shadow []float64
 		check := func(q float64) bool {
 			if len(shadow) == 0 {
@@ -457,7 +481,7 @@ func TestQuantileCachePropertyVsNaive(t *testing.T) {
 // observable here through Values() keeping the slice identity stable while
 // staying sorted.
 func TestSortedFastPathMonotoneAppend(t *testing.T) {
-	s := NewSample(8)
+	s := NewExactSample(8)
 	s.AddAll([]float64{1, 2, 3})
 	_ = s.Median()
 	s.Add(4)

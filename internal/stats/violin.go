@@ -40,23 +40,33 @@ func ViolinOf(s *Sample, points int) Violin {
 	if hi <= lo {
 		return v
 	}
-	logs := make([]float64, 0, v.N)
-	for _, x := range s.Values() {
-		logs = append(logs, math.Log(math.Max(x, 1e-6)))
+	// The weighted distinct-value view works for both backends: exact
+	// samples visit each observation with weight 1, sketches visit each
+	// populated bucket's representative with its count, so the KDE cost
+	// scales with distinct values rather than observations.
+	type weighted struct {
+		log float64
+		w   float64
 	}
-	// Silverman bandwidth on the log-values.
+	var logs []weighted
+	var total float64
+	s.Each(func(x float64, count uint64) {
+		logs = append(logs, weighted{math.Log(math.Max(x, 1e-6)), float64(count)})
+		total += float64(count)
+	})
+	// Silverman bandwidth on the (weighted) log-values.
 	mean := 0.0
 	for _, l := range logs {
-		mean += l
+		mean += l.w * l.log
 	}
-	mean /= float64(len(logs))
+	mean /= total
 	variance := 0.0
 	for _, l := range logs {
-		d := l - mean
-		variance += d * d
+		d := l.log - mean
+		variance += l.w * d * d
 	}
-	variance /= float64(len(logs))
-	bw := 1.06 * math.Sqrt(variance) * math.Pow(float64(len(logs)), -0.2)
+	variance /= total
+	bw := 1.06 * math.Sqrt(variance) * math.Pow(total, -0.2)
 	if bw <= 0 {
 		bw = (hi - lo) / 10
 	}
@@ -68,8 +78,8 @@ func ViolinOf(s *Sample, points int) Violin {
 		v.DensityAt[i] = math.Exp(at)
 		d := 0.0
 		for _, l := range logs {
-			z := (at - l) / bw
-			d += math.Exp(-0.5 * z * z)
+			z := (at - l.log) / bw
+			d += l.w * math.Exp(-0.5*z*z)
 		}
 		v.Density[i] = d
 		if d > peak {

@@ -62,6 +62,13 @@ type Options struct {
 	// identically run to run; injectors stop when the last core finishes
 	// its schedule.
 	Faults *fault.Plan
+	// ExactStats selects the retain-every-observation sample backend
+	// instead of the default bounded-memory quantile sketch. Memory then
+	// grows linearly with recorded events, but quantiles are exact — the
+	// oracle mode the sketch is property-tested against. Part of the
+	// options fingerprint: exact and sketch runs never share cache
+	// entries.
+	ExactStats bool
 }
 
 // DefaultOptions returns the scaled-down defaults used throughout the
@@ -107,8 +114,12 @@ func (o Options) withDefaults() Options {
 // keyed by its signature.
 func (o Options) Fingerprint() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("iters=%d warmup=%d hop=%d skew=%d",
-		o.Iterations, o.Warmup, int64(o.BarrierHop), int64(o.ReleaseSkewMean))
+	stats := "sketch"
+	if o.ExactStats {
+		stats = "exact"
+	}
+	return fmt.Sprintf("iters=%d warmup=%d hop=%d skew=%d stats=%s",
+		o.Iterations, o.Warmup, int64(o.BarrierHop), int64(o.ReleaseSkewMean), stats)
 }
 
 // Site identifies one call site: a (program, call index) pair.
@@ -246,10 +257,14 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 		for ci, call := range p.Calls {
 			s := Site{Program: pi, Call: ci}
 			res.index[s] = len(res.Sites)
+			smp := stats.NewSample(nCores * opts.Iterations)
+			if opts.ExactStats {
+				smp = stats.NewExactSample(nCores * opts.Iterations)
+			}
 			res.Sites = append(res.Sites, SiteResult{
 				Site:    s,
 				Syscall: call.Syscall,
-				Sample:  stats.NewSample(nCores * opts.Iterations),
+				Sample:  smp,
 			})
 			if opts.Trace != nil {
 				res.labelSite[SiteLabel(pi, ci, tab.Get(call.Syscall).Name)] = s
@@ -364,7 +379,11 @@ func (r *Result) breakdown(metric func(*stats.Sample) float64) stats.Breakdown {
 // native Linux, so callers typically pass a site filter computed elsewhere.
 func (r *Result) CategoryP99s(cat syscalls.Category, include func(Site) bool) *stats.Sample {
 	tab := syscalls.Default()
-	out := stats.NewSample(64)
+	var proto *stats.Sample
+	if len(r.Sites) > 0 {
+		proto = r.Sites[0].Sample
+	}
+	out := stats.NewSampleLike(proto, 64)
 	for _, sr := range r.Sites {
 		if sr.Sample.Len() == 0 || !tab.Get(sr.Syscall).Cats.Has(cat) {
 			continue

@@ -276,6 +276,9 @@ var (
 	// RunInterference doses one fault plan across surface-area partitions
 	// and reports p50/p99/max amplification per environment.
 	RunInterference = core.RunInterference
+	// RunDensity sweeps the high-density serverless scenario: Poisson
+	// cold-start churn of ephemeral tenants per isolation surface.
+	RunDensity = core.RunDensity
 	// FaultPresets lists the built-in interference plan names.
 	FaultPresets = fault.Presets
 	// FaultPreset returns a built-in plan by name.

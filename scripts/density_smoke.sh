@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Density smoke: run a 10k-tenant slice of the high-density serverless
+# scenario under a GOMEMLIMIT sized so the default bounded-memory sketch
+# backend fits comfortably and the exact retained-sample oracle demonstrably
+# does not, then assert the two backends agree on the reported tails.
+#
+# Three assertions:
+#   1. the sketch-backed run completes under GOMEMLIMIT with its printed
+#      peak heap below the limit;
+#   2. the exact-backed run's peak heap exceeds the same limit (GOMEMLIMIT
+#      is a soft target — retained samples are live data the GC cannot drop,
+#      so the peak sails past it);
+#   3. per-cell call p99s from the two runs agree within 2% relative error
+#      (the sketch's documented bound is 1/128 ≈ 0.8%).
+#
+# Usage: scripts/density_smoke.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+limit_mib=36
+tenants=10000
+requests=12
+
+echo "== density smoke in $work (GOMEMLIMIT=${limit_mib}MiB, ${tenants} tenants x ${requests} requests)"
+go build -o "$work/ksaexp" ./cmd/ksaexp
+
+peak_of() { # extract "peak heap X MiB" from a run log
+  sed -n 's/.*peak heap \([0-9.]*\) MiB.*/\1/p' "$1" | tail -1
+}
+
+echo "== sketch-backed run (the default)"
+GOMEMLIMIT="${limit_mib}MiB" "$work/ksaexp" -exp density -scale quick \
+  -tenants "$tenants" -requests "$requests" -csv "$work" \
+  >"$work/sketch.log" 2>&1
+mv "$work/density.csv" "$work/density-sketch.csv"
+sketch_peak=$(peak_of "$work/sketch.log")
+[ -n "$sketch_peak" ] || { echo "no peak-heap line in sketch run"; exit 1; }
+awk -v p="$sketch_peak" -v lim="$limit_mib" 'BEGIN { exit !(p < lim) }' ||
+  { echo "sketch peak ${sketch_peak} MiB not under the ${limit_mib} MiB limit"; exit 1; }
+echo "== sketch peak ${sketch_peak} MiB < ${limit_mib} MiB"
+
+echo "== exact-backed run (the retained-sample oracle)"
+GOMEMLIMIT="${limit_mib}MiB" "$work/ksaexp" -exp density -scale quick \
+  -tenants "$tenants" -requests "$requests" -exact-stats -csv "$work" \
+  >"$work/exact.log" 2>&1
+mv "$work/density.csv" "$work/density-exact.csv"
+exact_peak=$(peak_of "$work/exact.log")
+[ -n "$exact_peak" ] || { echo "no peak-heap line in exact run"; exit 1; }
+awk -v p="$exact_peak" -v lim="$limit_mib" 'BEGIN { exit !(p > lim) }' ||
+  { echo "exact peak ${exact_peak} MiB does not exceed the ${limit_mib} MiB limit"; exit 1; }
+echo "== exact peak ${exact_peak} MiB > ${limit_mib} MiB"
+
+# Tail agreement: same seed, same simulation — only the sample
+# representation differs. Compare call p50/p99 per cell at 2% relative.
+awk -F, '
+  NR == FNR { if (FNR > 1) { p50[FNR] = $10; p99[FNR] = $11 } next }
+  FNR > 1 {
+    for (i = 0; i < 2; i++) {
+      want = (i ? p99[FNR] : p50[FNR]); got = (i ? $11 : $10)
+      d = got - want; if (d < 0) d = -d
+      if (d > 0.02 * want + 1e-9) {
+        printf "cell %s/%s %s: sketch %s vs exact %s\n", $1, $2, (i ? "p99" : "p50"), got, want
+        bad = 1
+      }
+    }
+  }
+  END { exit bad }
+' "$work/density-exact.csv" "$work/density-sketch.csv" ||
+  { echo "sketch tails disagree with the exact oracle"; exit 1; }
+echo "== sketch p50/p99 within 2% of the exact oracle on every cell"
+
+echo "== density smoke OK (sketch ${sketch_peak} MiB vs exact ${exact_peak} MiB under ${limit_mib} MiB limit)"
