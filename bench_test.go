@@ -292,3 +292,27 @@ func BenchmarkVarbench64VMs(b *testing.B) {
 		_ = ksa.RunVarbench(env, c, opts)
 	}
 }
+
+// BenchmarkSpecializedVsFull contrasts the same corpus on a full-surface
+// native kernel and on 8 profile-specialized per-tenant kernels of the same
+// 8-core machine: the specialized sub-run includes nothing the full one
+// does not — profiling and reduction generation happen once outside the
+// timed loop, exactly as a deployment would amortize them.
+func BenchmarkSpecializedVsFull(b *testing.B) {
+	c, _ := ksa.GenerateCorpus(ksa.CorpusOptions{Seed: 9, TargetPrograms: 15})
+	m := ksa.Machine{Cores: 8, MemGB: 4}
+	opts := ksa.VarbenchOptions{Iterations: 3, Warmup: 0, Seed: 9}
+	prof := ksa.ProfileCorpus(c, nil, ksa.DeriveSeed(9, "specialize/profile"), 0)
+	run := func(spec ksa.EnvSpec) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := ksa.RunVarbenchCached(nil, false, spec, m, c, opts)
+				if len(res.Sites) == 0 {
+					b.Fatal("no sites")
+				}
+			}
+		}
+	}
+	b.Run("full", run(ksa.EnvSpec{Kind: ksa.KindNative}))
+	b.Run("specialized-8", run(ksa.EnvSpec{Kind: ksa.KindSpecialized, Units: 8, Profile: prof}))
+}

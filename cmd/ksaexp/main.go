@@ -8,6 +8,7 @@
 //	ksaexp -exp sweep [-envs list] [-trials N] [-workers N] [-worker-urls list]
 //	       [-worker-bin path] [-scale ...] [-seed N] [-cache dir] [-fault name]
 //	ksaexp -exp density [-tenants list] [-requests N] [-exact-stats] [-scale ...]
+//	ksaexp -exp specialize [-strict-profile] [-scale ...] [-cache dir]
 //
 // Every experiment reports wall time, simulated events, and the peak heap
 // high-water observed while it ran; -exact-stats swaps the bounded-memory
@@ -54,7 +55,7 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference,density or all (lightvm/ablation/blame/interference/density are extensions, not in 'all')")
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference,density,specialize or all (lightvm/ablation/blame/interference/density/specialize are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
@@ -73,6 +74,7 @@ func main() {
 	tenants := flag.String("tenants", "", "for -exp density: comma-separated tenant counts (overrides the scale's grid)")
 	requests := flag.Int("requests", 0, "for -exp density: cold-start requests per tenant (0 = keep the scale's default)")
 	exactStats := flag.Bool("exact-stats", false, "retain every observation exactly instead of the bounded-memory quantile sketch (the memory-hungry oracle backend; changes cache keys, not simulations)")
+	strictProfile := flag.Bool("strict-profile", false, "for -exp specialize: exit non-zero if any in-profile call faults on the specialized kernel (the deliberate out-of-profile probe is exempt)")
 	flag.Parse()
 
 	if *faultName == "list" {
@@ -256,6 +258,21 @@ func main() {
 				_, err := f.WriteString(res.CSV())
 				return err
 			})
+		})
+	}
+	if want["specialize"] {
+		run("specialize", func() {
+			res := ksa.RunSpecialize(sc)
+			fmt.Println(res.Render())
+			writeCSV("specialize", func(f *os.File) error {
+				_, err := f.WriteString(res.CSV())
+				return err
+			})
+			if *strictProfile && res.MeasuredFaults > 0 {
+				fmt.Fprintf(os.Stderr, "ksaexp: -strict-profile: %d in-profile call(s) faulted on the specialized kernel\n",
+					res.MeasuredFaults)
+				os.Exit(1)
+			}
 		})
 	}
 	if want["interference"] {

@@ -1,0 +1,73 @@
+package ksa_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ksa"
+)
+
+// The experiment registry has three user-facing mirrors that cannot be
+// checked by the compiler: the ksaexp -exp usage string, the daemon's
+// JobSpec validator, and the JobSpec doc comment. This guard fails when a
+// new experiment lands in core.ExperimentNames without the mirrors — the
+// drift that silently makes an experiment unreachable from one surface.
+func TestExperimentSurfacesStayInSync(t *testing.T) {
+	names := ksa.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments registered")
+	}
+
+	// Root-package tests run with the repo root as cwd.
+	mainSrc, err := os.ReadFile("cmd/ksaexp/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobSrc, err := os.ReadFile("internal/daemon/job.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range names {
+		// Every registered experiment is offered by the CLI's -exp flag.
+		if !strings.Contains(string(mainSrc), name) {
+			t.Errorf("experiment %q missing from cmd/ksaexp/main.go (add it to the -exp usage and dispatch)", name)
+		}
+		// And documented on the wire spec.
+		if !strings.Contains(string(jobSrc), name) {
+			t.Errorf("experiment %q missing from internal/daemon/job.go's JobSpec doc", name)
+		}
+		// And accepted by the daemon's validator.
+		spec := ksa.JobSpec{Type: "experiment", Exp: name}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("daemon rejects experiment %q: %v", name, err)
+		}
+	}
+
+	// The validator must still reject what the registry doesn't list.
+	bogus := ksa.JobSpec{Type: "experiment", Exp: "no-such-experiment"}
+	if err := bogus.Validate(); err == nil {
+		t.Error("daemon accepted an unregistered experiment")
+	}
+}
+
+// Every environment-spec string form the daemon documents must parse, and
+// the specialized orchestration alias must normalize to the canonical form.
+func TestEnvSpecSurfacesStayInSync(t *testing.T) {
+	spec := ksa.JobSpec{Type: "sweep",
+		Envs: []string{"native", "kvm-8", "docker-64", "lightvm-16", "specialized-8"}}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("documented env specs rejected: %v", err)
+	}
+	alias := ksa.JobSpec{Type: "sweep", Envs: []string{"specialized:8"}}
+	if err := alias.Validate(); err != nil {
+		t.Fatalf("specialized:N alias rejected: %v", err)
+	}
+	// The alias and the canonical form are the same spec, so listing both
+	// is a duplicate.
+	dup := ksa.JobSpec{Type: "sweep", Envs: []string{"specialized-8", "specialized:8"}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate specialized spec (alias + canonical) accepted")
+	}
+}

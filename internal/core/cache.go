@@ -35,13 +35,21 @@ func (sc Scale) corpusDigest(c *corpus.Corpus) string {
 // varbenchKey builds the cache key for one harness run: the complete input
 // set of the pure function varbench.Run ∘ EnvSpec.Build. The experiment
 // that asks is deliberately NOT part of the key — Table 2's kvm-64 cell
-// and Figure 2's are the same computation and share one entry.
+// and Figure 2's are the same computation and share one entry. For
+// specialized environments the generating profile's signature joins the
+// environment fingerprint: the profile determines the generated kernels,
+// so results from different profiles (or from full-surface kernels) must
+// address different entries.
 func varbenchKey(env EnvSpec, m platform.Machine, opts varbench.Options,
 	faultSig, corpusDigest string, seed uint64) resultcache.Key {
+	envFP := fmt.Sprintf("%s@%dc%gg", env, m.Cores, m.MemGB)
+	if env.Kind == platform.KindSpecialized && env.Profile != nil {
+		envFP += "/prof=" + env.Profile.Sig()
+	}
 	return resultcache.Key{
 		Salt:     resultcache.CodeVersion,
 		Kind:     cacheKindVarbench,
-		Env:      fmt.Sprintf("%s@%dc%gg", env, m.Cores, m.MemGB),
+		Env:      envFP,
 		Opts:     opts.Fingerprint(),
 		FaultSig: faultSig,
 		Corpus:   corpusDigest,

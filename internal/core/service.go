@@ -21,11 +21,18 @@ import (
 )
 
 // ParseEnvSpec parses the canonical environment-spec string form —
-// "native", "kvm-8", "docker-64", "lightvm-16" — the inverse of
-// EnvSpec.String. Unit counts must be positive; native takes none.
+// "native", "kvm-8", "docker-64", "lightvm-16", "specialized-8" — the
+// inverse of EnvSpec.String. The MultiK-style orchestration form
+// "specialized:8" is accepted as an alias. Unit counts must be positive;
+// native takes none.
 func ParseEnvSpec(s string) (EnvSpec, error) {
 	if s == "native" {
 		return EnvSpec{Kind: platform.KindNative}, nil
+	}
+	// "specialized:N" is the per-tenant orchestration spelling; normalize
+	// it to the canonical dash form before the generic cut.
+	if units, ok := strings.CutPrefix(s, "specialized:"); ok {
+		s = "specialized-" + units
 	}
 	name, units, ok := strings.Cut(s, "-")
 	var kind platform.EnvKind
@@ -36,8 +43,10 @@ func ParseEnvSpec(s string) (EnvSpec, error) {
 		kind = platform.KindContainers
 	case "lightvm":
 		kind = platform.KindLightVMs
+	case "specialized":
+		kind = platform.KindSpecialized
 	default:
-		return EnvSpec{}, fmt.Errorf("unknown environment %q (want native, kvm-N, docker-N, or lightvm-N)", s)
+		return EnvSpec{}, fmt.Errorf("unknown environment %q (want native, kvm-N, docker-N, lightvm-N, or specialized-N)", s)
 	}
 	if !ok {
 		return EnvSpec{}, fmt.Errorf("environment %q needs a unit count (e.g. %q)", s, s+"-8")
@@ -132,7 +141,7 @@ func SweepCached(o SweepOptions) (*corpus.Corpus, bool) {
 // dispatches, in canonical order.
 func ExperimentNames() []string {
 	return []string{"table1", "table2", "fig2", "table3", "fig3", "fig4",
-		"lightvm", "ablation", "interference", "density"}
+		"lightvm", "ablation", "interference", "density", "specialize"}
 }
 
 // RunExperimentContext runs one named paper experiment (see
@@ -177,6 +186,9 @@ func RunExperimentContext(ctx context.Context, sc Scale, name, faultName string)
 		return renderOr(r.Render, err)
 	case "density":
 		r, err := RunDensityContext(ctx, sc)
+		return renderOr(r.Render, err)
+	case "specialize":
+		r, err := RunSpecializeContext(ctx, sc)
 		return renderOr(r.Render, err)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (want one of %s)",

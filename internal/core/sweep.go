@@ -6,11 +6,14 @@ import (
 
 	"ksa/internal/corpus"
 	"ksa/internal/fault"
+	"ksa/internal/kernel"
 	"ksa/internal/platform"
 	"ksa/internal/resultcache"
 	"ksa/internal/rng"
 	"ksa/internal/runner"
 	"ksa/internal/sim"
+	"ksa/internal/specialize"
+	"ksa/internal/syscalls"
 	"ksa/internal/trace"
 	"ksa/internal/varbench"
 )
@@ -21,6 +24,15 @@ import (
 type EnvSpec struct {
 	Kind  platform.EnvKind
 	Units int
+	// Profile, for KindSpecialized, is the workload profile the per-tenant
+	// kernels are generated from. PlanSweep fills it (profiling the sweep's
+	// own corpus) when the caller leaves it nil; its Sig() joins the cell's
+	// cache key, so specialized results never collide with full-surface
+	// entries or with kernels generated from a different profile. Nil at
+	// build time deploys full-surface kernels (pure MultiK partitioning).
+	// It does not participate in String(), which stays the stable job-key
+	// component.
+	Profile *specialize.Profile
 }
 
 // String renders the spec as the stable job-key component, e.g. "native",
@@ -43,6 +55,12 @@ func (e EnvSpec) Build(eng *sim.Engine, m platform.Machine, seed uint64) *platfo
 		return platform.LightVMs(eng, m, e.Units, src)
 	case platform.KindContainers:
 		return platform.Containers(eng, m, e.Units, src)
+	case platform.KindSpecialized:
+		var red *kernel.Reduction
+		if e.Profile != nil {
+			red = specialize.Specialize(e.Profile, syscalls.Default())
+		}
+		return platform.Specialized(eng, m, e.Units, src, red)
 	default:
 		return platform.Native(eng, m, src)
 	}
@@ -170,6 +188,28 @@ func PlanSweep(o SweepOptions) SweepPlan {
 	if o.Corpus == nil {
 		c, _ := o.Scale.GenerateCorpus()
 		o.Corpus = c
+	}
+	// Specialized environments need the workload profile their per-tenant
+	// kernels are generated from. Profile the sweep's own corpus once and
+	// attach it to every specialized spec that arrived without one — on a
+	// copy, so the caller's Envs slice is never mutated. The profiling seed
+	// derives from a fixed key, not the cell grid, so every execution mode
+	// (serial, parallel, daemon, distributed) generates the same profile and
+	// therefore the same kernels and cache keys.
+	for i, env := range o.Envs {
+		if env.Kind == platform.KindSpecialized && env.Profile == nil {
+			prof := specialize.ProfileCorpus(o.Corpus, syscalls.Default(),
+				runner.DeriveSeed(o.Scale.Seed, "specialize/profile"), 0)
+			envs := make([]EnvSpec, len(o.Envs))
+			copy(envs, o.Envs)
+			for j := i; j < len(envs); j++ {
+				if envs[j].Kind == platform.KindSpecialized && envs[j].Profile == nil {
+					envs[j].Profile = prof
+				}
+			}
+			o.Envs = envs
+			break
+		}
 	}
 	p := SweepPlan{Opts: o}
 	if p.cache() != nil {

@@ -1,6 +1,8 @@
 package corpus
 
 import (
+	"errors"
+
 	"ksa/internal/kernel"
 	"ksa/internal/sim"
 	"ksa/internal/syscalls"
@@ -10,6 +12,25 @@ import (
 // of a program (argument setup, loop overhead). The paper's workloads are
 // deliberately minimally hardware-intensive, so the gap is tiny.
 const InterCallGap = 150 * sim.Nanosecond
+
+// ErrSyscallUnmapped is the named ENOSYS-style error for a syscall
+// dispatched outside a specialized kernel's profile. The call is never
+// compiled or executed: the runner charges only the entry fast-fail,
+// records ENOSYSResult as the call's return value, bumps the kernel's
+// Stats.UnmappedCalls, and reports the fault through Runner.OnFault.
+var ErrSyscallUnmapped = errors.New("syscall not mapped on specialized kernel (ENOSYS)")
+
+// ENOSYSResult is the return value of a faulted dispatch: -ENOSYS (38) in
+// two's complement, the way the raw syscall ABI reports it.
+const ENOSYSResult = ^uint64(38) + 1
+
+// enosysFailCost is the on-CPU cost of the dispatch fast-fail: table
+// lookup, bounds check, error return. No locks, no subsystem entry.
+const enosysFailCost = 120 * sim.Nanosecond
+
+// enosysOps is the shared micro-op sequence of a faulted dispatch. It is
+// read-only by contract (the executor never mutates Task.Ops).
+var enosysOps = []kernel.Op{{Kind: kernel.OpCompute, Dur: enosysFailCost}}
 
 // Runner executes programs on one core of one kernel with a persistent
 // process context, resolving result references as calls complete.
@@ -38,6 +59,10 @@ type Runner struct {
 	// and syscall name) so an attached tracer can map blame records back
 	// to call sites. Nil leaves tasks unlabeled.
 	Label func(call int, name string) string
+	// OnFault, if non-nil, receives every out-of-profile dispatch fault
+	// (err is always ErrSyscallUnmapped). Nil discards; the fault is still
+	// counted in the kernel's Stats.UnmappedCalls either way.
+	OnFault func(call int, sys syscalls.ID, err error)
 
 	// Replay arenas, reused across calls and iterations.
 	results []uint64    // per-call return values of the in-flight program
@@ -90,6 +115,11 @@ func (r *Runner) ResetProc() {
 	// mappings); the salt keeps its hashes off other ranks' shards.
 	r.Proc.Salt = uint64(r.Core+1) * 0xbf58476d1ce4e5b9
 }
+
+// Result returns call i's return value in the in-flight (or just
+// finished) program — ENOSYSResult for faulted dispatches. Valid from
+// call i's perCall callback until the next Run/RunCompiled.
+func (r *Runner) Result(i int) uint64 { return r.results[i] }
 
 // Run executes the program call-by-call. perCall, if non-nil, receives each
 // call's index and latency; done, if non-nil, runs after the last call.
@@ -148,6 +178,29 @@ func (cr *compiledRun) exec() {
 		return
 	}
 	c := &cr.cp.calls[cr.i]
+	t := &r.task
+	if !r.Kern.SyscallMapped(uint16(c.spec.ID())) {
+		// Out-of-profile dispatch on a specialized kernel: fault with the
+		// named ENOSYS-style error instead of silently executing. The call
+		// costs only the entry fast-fail, takes no locks, draws no
+		// randomness, and mutates no process state, so everything after it
+		// proceeds exactly as if the call had returned an error.
+		r.Kern.RecordUnmappedCall()
+		if r.OnFault != nil {
+			r.OnFault(cr.i, c.spec.ID(), ErrSyscallUnmapped)
+		}
+		r.results[cr.i] = ENOSYSResult
+		t.Ops = enosysOps
+		t.AddrSpace = r.Proc.MM
+		t.OnDone = cr.onDone
+		if r.Label != nil {
+			t.Label = r.Label(cr.i, c.spec.Name)
+		} else {
+			t.Label = ""
+		}
+		r.Kern.Submit(r.Core, t)
+		return
+	}
 	args := r.argBuf[:len(c.tmpl)]
 	copy(args, c.tmpl)
 	for _, ref := range c.refs {
@@ -156,7 +209,6 @@ func (cr *compiledRun) exec() {
 	cr.ctx.Kern, cr.ctx.Core, cr.ctx.Proc, cr.ctx.Cov = r.Kern, r.Core, r.Proc, r.Cov
 	ops, ret := c.spec.CompilePrepared(&cr.ctx, args)
 	r.results[cr.i] = ret
-	t := &r.task
 	t.Ops = ops
 	t.AddrSpace = r.Proc.MM
 	t.OnDone = cr.onDone

@@ -25,14 +25,14 @@ type JobSpec struct {
 	Type string `json:"type"`
 	// Exp names the paper experiment for Type "experiment" (table1,
 	// table2, fig2, table3, fig3, fig4, lightvm, ablation, interference,
-	// density).
+	// density, specialize).
 	Exp string `json:"exp,omitempty"`
 	// Scale is "quick" or "default" (the default).
 	Scale string `json:"scale,omitempty"`
 	// Seed overrides the scale's root seed when nonzero.
 	Seed uint64 `json:"seed,omitempty"`
 	// Envs are the sweep's environments ("native", "kvm-8", "docker-64",
-	// "lightvm-16"). Required for Type "sweep".
+	// "lightvm-16", "specialized-8"). Required for Type "sweep".
 	Envs []string `json:"envs,omitempty"`
 	// Trials is the sweep's repetitions per environment (default 1).
 	Trials int `json:"trials,omitempty"`

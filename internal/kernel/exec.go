@@ -33,6 +33,13 @@ func (k *Kernel) step(c *core, t *Task) {
 		k.eng.At(end, t.cont)
 
 	case OpLock:
+		// On a specialized kernel, acquiring a slab the profile did not
+		// retain is an escape from the profiled surface: it still works
+		// (soundness — a mapped syscall may take a rare branch), but the
+		// escape is counted so -strict-profile harnesses can detect it.
+		if red := k.cfg.Reduction; red != nil && !red.LockRetained(op.Lock) {
+			k.stats.OutOfProfileLocks++
+		}
 		t.lockStack = append(t.lockStack, op.Lock)
 		l := &k.locks[op.Lock]
 		reqAt := k.eng.Now()

@@ -30,6 +30,11 @@ type Config struct {
 	// Virt, if non-nil, applies a hypervisor overhead model to this kernel
 	// (the kernel is a VM guest). Native kernels leave it nil.
 	Virt *VirtModel
+	// Reduction, if non-nil, specializes this kernel to a profiled workload
+	// surface: unmapped syscalls fault at dispatch, unretained lock
+	// acquisitions are counted, and housekeeping/cache params shrink to the
+	// profiled footprint (see reduction.go). Nil is the full surface.
+	Reduction *Reduction
 }
 
 // VirtModel is the bounded virtualization tax a guest kernel pays. The

@@ -47,6 +47,8 @@ func (k EnvKind) String() string {
 		return "docker"
 	case KindLightVMs:
 		return "lightvm"
+	case KindSpecialized:
+		return "specialized"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

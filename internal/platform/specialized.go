@@ -1,0 +1,51 @@
+package platform
+
+import (
+	"fmt"
+
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+)
+
+// KindSpecialized is the MultiK-style per-tenant specialized environment:
+// n kernels partition the machine evenly (like VMs, without a hypervisor
+// tax), but every kernel is generated from a workload profile — unreached
+// syscalls unmapped, untouched lock slabs dropped from the retained set,
+// housekeeping and cache working sets shrunk to the profiled footprint.
+// It models co-deploying per-application reduced kernels on one node, the
+// surface-area endgame the paper's isolation argument points at.
+const KindSpecialized EnvKind = 4
+
+// Specialized builds an n-tenant specialized environment partitioning the
+// machine evenly. Each tenant runs its own kernel generated from the same
+// reduction (one profiled workload class deployed n times); a nil
+// reduction deploys full-surface kernels — pure MultiK partitioning with
+// no specialization, useful as the like-for-like baseline. n must divide
+// the core count.
+func Specialized(eng *sim.Engine, m Machine, n int, src *rng.Source, red *kernel.Reduction) *Environment {
+	if n <= 0 || m.Cores%n != 0 {
+		panic(fmt.Sprintf("platform: %d specialized kernels do not evenly partition %d cores", n, m.Cores))
+	}
+	e := &Environment{
+		Name:  fmt.Sprintf("spec-%dx%d", n, m.Cores/n),
+		Kind:  KindSpecialized,
+		Units: n,
+		Eng:   eng,
+	}
+	coresPer := m.Cores / n
+	memPer := m.MemGB / float64(n)
+	for i := 0; i < n; i++ {
+		k := kernel.New(eng, kernel.Config{
+			Name:      fmt.Sprintf("spec%d", i),
+			Cores:     coresPer,
+			MemGB:     memPer,
+			Reduction: red,
+		}, src.Split(uint64(i)+0x5350))
+		e.Kernels = append(e.Kernels, k)
+		for c := 0; c < coresPer; c++ {
+			e.cores = append(e.cores, CoreRef{Kernel: k, Core: c})
+		}
+	}
+	return e
+}

@@ -1,0 +1,105 @@
+package specialize
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"ksa/internal/corpus"
+	"ksa/internal/kernel"
+	"ksa/internal/rng"
+	"ksa/internal/sim"
+	"ksa/internal/syscalls"
+)
+
+// Replay is the outcome of one ReplayDigest run: the semantic execution
+// digest plus the kernel's counters (which carry the out-of-profile fault
+// and lock-escape evidence).
+type Replay struct {
+	// Digest fingerprints the semantic execution trace: per call, the
+	// syscall id, its return value, and the coverage blocks its compilation
+	// traversed. Latency is deliberately excluded — specialization shifts
+	// latency (that is the win) while the semantic trace must stay
+	// bit-identical for in-profile workloads.
+	Digest string
+	// Faults counts dispatches that hit the ENOSYS path (equals the
+	// kernel's Stats.UnmappedCalls for this run).
+	Faults uint64
+	// Stats is the replay kernel's full counter snapshot.
+	Stats kernel.Stats
+}
+
+// hashCov streams coverage blocks into the digest.
+type hashCov struct{ h *digestWriter }
+
+func (c hashCov) Hit(block uint32) { c.h.u32(0xc0, block) }
+
+// digestWriter streams the canonical trace encoding into a SHA-256.
+type digestWriter struct {
+	h   hash.Hash
+	scr [9]byte
+}
+
+func (w *digestWriter) u32(tag byte, v uint32) {
+	w.scr[0] = tag
+	binary.LittleEndian.PutUint32(w.scr[1:], v)
+	w.h.Write(w.scr[:5])
+}
+
+func (w *digestWriter) u64(tag byte, v uint64) {
+	w.scr[0] = tag
+	binary.LittleEndian.PutUint64(w.scr[1:], v)
+	w.h.Write(w.scr[:9])
+}
+
+// ReplayDigest replays the corpus once, sequentially, on a single-core
+// kernel built with the given reduction (nil = full surface) and returns
+// the semantic execution digest. It is the specialize-is-sound oracle: for
+// a corpus inside the generating profile, the digest on the specialized
+// kernel is bit-identical to the full kernel's — the reduction changed
+// *when* things happen, never *what* happens. Out-of-profile calls fault
+// and perturb the digest (their ENOSYS result and missing coverage are
+// part of the trace), which is exactly the detectability the fault path
+// exists for. A nil table means syscalls.Default().
+func ReplayDigest(c *corpus.Corpus, tab *syscalls.Table, seed uint64, red *kernel.Reduction) Replay {
+	if tab == nil {
+		tab = syscalls.Default()
+	}
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.Config{
+		Name:      "replay",
+		Cores:     1,
+		MemGB:     0.5,
+		Params:    kernel.Params{Quiet: true},
+		Reduction: red,
+	}, rng.New(seed).Split(1))
+	w := &digestWriter{h: sha256.New()}
+	r := corpus.NewRunner(eng, k, 0, tab)
+	r.Cov = hashCov{h: w}
+	var faults uint64
+	r.OnFault = func(call int, sys syscalls.ID, err error) {
+		faults++
+		w.u32(0xee, uint32(sys))
+	}
+	var runProg func(i int)
+	runProg = func(i int) {
+		if i >= len(c.Programs) {
+			return
+		}
+		prog := c.Programs[i]
+		r.ResetProc()
+		w.u32(0x70, uint32(i))
+		r.Run(prog, func(ci int, lat sim.Time) {
+			w.u32(0x73, uint32(prog.Calls[ci].Syscall))
+			w.u64(0x72, r.Result(ci))
+		}, func() { runProg(i + 1) })
+	}
+	runProg(0)
+	eng.Run()
+	return Replay{
+		Digest: hex.EncodeToString(w.h.Sum(nil)),
+		Faults: faults,
+		Stats:  k.Stats(),
+	}
+}

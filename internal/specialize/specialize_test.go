@@ -1,0 +1,168 @@
+package specialize
+
+import (
+	"testing"
+
+	"ksa/internal/corpus"
+	"ksa/internal/fuzz"
+	"ksa/internal/kernel"
+	"ksa/internal/syscalls"
+)
+
+// testCorpus generates a small coverage-guided corpus (the same generator
+// experiments use) deterministically.
+func testCorpus(t *testing.T, programs int) *corpus.Corpus {
+	t.Helper()
+	opts := fuzz.NewOptions(42)
+	opts.TargetPrograms = programs
+	c, _ := fuzz.Generate(opts)
+	if len(c.Programs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return c
+}
+
+// Same corpus + same seed ⇒ byte-identical canonical profile (and
+// therefore the same Sig). This is the property that lets profiles key
+// cache entries.
+func TestProfileDeterminism(t *testing.T) {
+	c := testCorpus(t, 10)
+	tab := syscalls.Default()
+	a := ProfileCorpus(c, tab, 7, 0)
+	b := ProfileCorpus(c, tab, 7, 0)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical profiles differ:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Sig() != b.Sig() {
+		t.Fatalf("sigs differ: %s vs %s", a.Sig(), b.Sig())
+	}
+	if len(a.Syscalls) == 0 || len(a.Locks) == 0 {
+		t.Fatalf("profile observed nothing: %+v", a)
+	}
+}
+
+// A different corpus must change the signature (the sig is the profile's
+// whole identity in cache keys).
+func TestProfileSigDistinguishesCorpora(t *testing.T) {
+	tab := syscalls.Default()
+	a := ProfileCorpus(testCorpus(t, 10), tab, 7, 0)
+	b := ProfileCorpus(testCorpus(t, 4), tab, 7, 0)
+	if a.Sig() == b.Sig() {
+		t.Fatalf("different corpora share sig %s", a.Sig())
+	}
+}
+
+// The specialize-is-sound oracle: the profiled corpus replayed on its
+// specialized kernel produces a semantic trace bit-identical to the full
+// kernel's, with zero faults — and the reduction is a strict reduction.
+func TestSpecializeIsSound(t *testing.T) {
+	c := testCorpus(t, 10)
+	tab := syscalls.Default()
+	prof := ProfileCorpus(c, tab, 7, 0)
+	red := Specialize(prof, tab)
+
+	if red.MappedSyscalls >= tab.Len() {
+		t.Fatalf("no syscall reduction: %d/%d mapped", red.MappedSyscalls, tab.Len())
+	}
+	if red.RetainedLocks >= kernel.NumLocks() {
+		t.Fatalf("no lock reduction: %d/%d retained", red.RetainedLocks, kernel.NumLocks())
+	}
+	if red.HousekeepingScale >= 1 || red.HousekeepingScale <= 0 {
+		t.Fatalf("housekeeping scale %v not in (0,1)", red.HousekeepingScale)
+	}
+
+	full := ReplayDigest(c, tab, 99, nil)
+	spec := ReplayDigest(c, tab, 99, red)
+	if full.Digest != spec.Digest {
+		t.Fatalf("replay digests diverge: full %s vs specialized %s", full.Digest, spec.Digest)
+	}
+	if spec.Faults != 0 || spec.Stats.UnmappedCalls != 0 {
+		t.Fatalf("in-profile replay faulted: %d faults, %d unmapped", spec.Faults, spec.Stats.UnmappedCalls)
+	}
+	if full.Stats.UnmappedCalls != 0 {
+		t.Fatalf("full-surface replay recorded %d unmapped calls", full.Stats.UnmappedCalls)
+	}
+}
+
+// An out-of-profile syscall faults with the named ENOSYS error, is counted
+// in kernel stats, and returns the ENOSYS sentinel — never silently
+// executed.
+func TestOutOfProfileSyscallFaults(t *testing.T) {
+	c := testCorpus(t, 6)
+	tab := syscalls.Default()
+	prof := ProfileCorpus(c, tab, 7, 0)
+	red := Specialize(prof, tab)
+
+	// Find a syscall the profile did not reach.
+	var outside *syscalls.Spec
+	for _, s := range tab.All() {
+		if !red.SyscallMapped(uint16(s.ID())) {
+			outside = s
+			break
+		}
+	}
+	if outside == nil {
+		t.Fatal("profile covers the whole table; cannot build a probe")
+	}
+	probe := &corpus.Corpus{}
+	probe.Add(&corpus.Program{Calls: []corpus.Call{{Syscall: outside.ID()}}})
+
+	rep := ReplayDigest(probe, tab, 5, red)
+	if rep.Faults != 1 || rep.Stats.UnmappedCalls != 1 {
+		t.Fatalf("probe of %q: faults=%d unmapped=%d, want 1/1", outside.Name, rep.Faults, rep.Stats.UnmappedCalls)
+	}
+	fullRep := ReplayDigest(probe, tab, 5, nil)
+	if fullRep.Digest == rep.Digest {
+		t.Fatal("faulted probe replay digests identically to full execution — the fault was silent")
+	}
+}
+
+// The fault path surfaces the named error and the sentinel return value at
+// the runner level.
+func TestFaultErrorAndSentinel(t *testing.T) {
+	tab := syscalls.Default()
+	red := kernel.NewReduction(tab.Len()) // nothing mapped: every call faults
+	probe := &corpus.Corpus{}
+	probe.Add(&corpus.Program{Calls: []corpus.Call{
+		{Syscall: tab.All()[0].ID()},
+		{Syscall: tab.All()[1].ID()},
+	}})
+	rep := ReplayDigest(probe, tab, 5, red)
+	if rep.Faults != 2 {
+		t.Fatalf("faults=%d, want 2", rep.Faults)
+	}
+	if corpus.ErrSyscallUnmapped == nil || corpus.ErrSyscallUnmapped.Error() == "" {
+		t.Fatal("ErrSyscallUnmapped must be a named error")
+	}
+}
+
+// Out-of-profile lock escapes are counted without changing behavior: a
+// kernel specialized to retain nothing still executes mapped syscalls
+// identically while OutOfProfileLocks records every slab acquisition.
+func TestOutOfProfileLockCounting(t *testing.T) {
+	c := testCorpus(t, 6)
+	tab := syscalls.Default()
+	prof := ProfileCorpus(c, tab, 7, 0)
+	red := Specialize(prof, tab)
+
+	// Same mapped syscalls, but drop every lock from the retained set.
+	bare := kernel.NewReduction(tab.Len())
+	for _, name := range prof.Syscalls {
+		bare.MapSyscall(uint16(tab.Lookup(name).ID()))
+	}
+	bare.HousekeepingScale = red.HousekeepingScale
+	bare.MemScale = red.MemScale
+
+	full := ReplayDigest(c, tab, 3, nil)
+	rep := ReplayDigest(c, tab, 3, bare)
+	if rep.Digest != full.Digest {
+		t.Fatal("dropping lock retention changed execution semantics")
+	}
+	if rep.Stats.OutOfProfileLocks == 0 {
+		t.Fatal("no out-of-profile lock acquisitions counted")
+	}
+	if rep.Stats.OutOfProfileLocks != rep.Stats.LockHolds {
+		t.Fatalf("retain-nothing kernel: ooplocks=%d, lockholds=%d — every hold should count",
+			rep.Stats.OutOfProfileLocks, rep.Stats.LockHolds)
+	}
+}

@@ -36,11 +36,13 @@ import (
 	"ksa/internal/distsweep"
 	"ksa/internal/fault"
 	"ksa/internal/fuzz"
+	"ksa/internal/kernel"
 	"ksa/internal/platform"
 	"ksa/internal/resultcache"
 	"ksa/internal/rng"
 	"ksa/internal/runner"
 	"ksa/internal/sim"
+	"ksa/internal/specialize"
 	"ksa/internal/stats"
 	"ksa/internal/syscalls"
 	"ksa/internal/tailbench"
@@ -111,6 +113,15 @@ type (
 	InterferenceResult = core.InterferenceResult
 	// InterferenceRow is one environment's amplification under a plan.
 	InterferenceRow = core.InterferenceRow
+	// SpecializeResult is the profile-guided specialization experiment's
+	// output: reduction shape, soundness proof, and latency comparison.
+	SpecializeResult = core.SpecializeResult
+	// WorkloadProfile is what a corpus was observed to reach — the input
+	// to kernel specialization (EnvSpec.Profile).
+	WorkloadProfile = specialize.Profile
+	// KernelReduction is a generated reduced-kernel configuration
+	// (kernel.Config.Reduction).
+	KernelReduction = kernel.Reduction
 	// ResultCache is the content-addressed, disk-backed store for
 	// deterministic results (set Scale.Cache / SweepOptions via Scale).
 	ResultCache = resultcache.Store
@@ -279,6 +290,15 @@ var (
 	// RunDensity sweeps the high-density serverless scenario: Poisson
 	// cold-start churn of ephemeral tenants per isolation surface.
 	RunDensity = core.RunDensity
+	// RunSpecialize runs the profile-guided specialization experiment:
+	// profile the corpus, generate per-tenant reduced kernels, prove the
+	// reduction sound, and compare against the full-surface environments.
+	RunSpecialize = core.RunSpecialize
+	// ProfileCorpus derives a corpus's deterministic workload profile.
+	ProfileCorpus = specialize.ProfileCorpus
+	// SpecializeKernel generates the reduced kernel configuration for a
+	// profile (nil table = the default syscall table).
+	SpecializeKernel = specialize.Specialize
 	// FaultPresets lists the built-in interference plan names.
 	FaultPresets = fault.Presets
 	// FaultPreset returns a built-in plan by name.
@@ -290,6 +310,11 @@ var (
 // KindLightVMs selects the lightweight-VM (Firecracker/Kata-class)
 // environment in SingleNodeConfig/ClusterConfig-style uses.
 const KindLightVMs = platform.KindLightVMs
+
+// KindSpecialized selects the MultiK-style per-tenant specialized-kernel
+// environment ("specialized-N" in sweep specs): N profile-generated
+// reduced kernels partitioning the machine.
+const KindSpecialized = platform.KindSpecialized
 
 // Daemon layer (cmd/ksad): the long-running experiment service and its
 // HTTP API — jobs multiplex onto one shared pool, warmed jobs are served

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Specialization smoke: drive the profile-guided kernel-specialization
+# pipeline end to end through the CLI and assert its contract lines.
+#
+# Assertions:
+#   1. the generated reduction is strict — fewer mapped syscalls and fewer
+#      retained lock slabs than the full surface;
+#   2. soundness — the profiled corpus replays bit-identically on the
+#      specialized kernel (and zero in-profile calls fault, enforced twice:
+#      by grep and by rerunning under -strict-profile);
+#   3. fault detectability — the deliberate out-of-profile probe syscall
+#      faults at dispatch instead of silently executing;
+#   4. serial and 4-worker runs render byte-identically;
+#   5. a warm rerun against the cache reports 100% hits with output
+#      byte-identical to the cold run.
+#
+# Usage: scripts/specialize_smoke.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+
+echo "== specialize smoke in $work"
+go build -o "$work/ksaexp" ./cmd/ksaexp
+
+echo "== cold cached run (serial)"
+"$work/ksaexp" -exp specialize -scale quick -parallel 1 \
+  -cache "$work/cache" >"$work/cold.txt"
+
+grep_metric() { # grep_metric <file> <pattern> -> first capture of "X/Y"
+  sed -n "s|^$2 \([0-9]*\)/\([0-9]*\).*|\1 \2|p" "$1"
+}
+
+read -r mapped total <<<"$(grep_metric "$work/cold.txt" 'mapped syscalls')"
+[ -n "$mapped" ] || { echo "no mapped-syscalls line"; exit 1; }
+[ "$mapped" -lt "$total" ] ||
+  { echo "no syscall reduction: $mapped/$total"; exit 1; }
+echo "   mapped syscalls $mapped/$total (strictly fewer)"
+
+read -r locks lockstotal <<<"$(grep_metric "$work/cold.txt" 'retained lock slabs')"
+[ -n "$locks" ] || { echo "no retained-lock-slabs line"; exit 1; }
+[ "$locks" -lt "$lockstotal" ] ||
+  { echo "no lock reduction: $locks/$lockstotal"; exit 1; }
+echo "   retained lock slabs $locks/$lockstotal (strictly fewer)"
+
+grep -q 'soundness bit-identical true' "$work/cold.txt" ||
+  { echo "specialized replay is not bit-identical to full kernel"; exit 1; }
+grep -q 'in-profile faults 0' "$work/cold.txt" ||
+  { echo "in-profile calls faulted"; exit 1; }
+echo "   soundness: bit-identical, zero in-profile faults"
+
+probe_faults=$(sed -n 's/^out-of-profile probe .* faults \([0-9]*\)$/\1/p' "$work/cold.txt")
+[ -n "$probe_faults" ] && [ "$probe_faults" -ge 1 ] ||
+  { echo "out-of-profile probe did not fault (got '${probe_faults:-none}')"; exit 1; }
+echo "   out-of-profile probe faulted ($probe_faults)"
+
+echo "== 4-worker run must render byte-identically"
+"$work/ksaexp" -exp specialize -scale quick -parallel 4 \
+  -cache "$work/cache2" >"$work/par.txt"
+diff <(grep -v '^\[' "$work/cold.txt") <(grep -v '^\[' "$work/par.txt")
+echo "   serial == 4-worker"
+
+echo "== warm rerun must be 100% cache hits and byte-identical"
+"$work/ksaexp" -exp specialize -scale quick -parallel 1 \
+  -cache "$work/cache" >"$work/warm.txt"
+grep -q '(100.0% hits)' "$work/warm.txt" ||
+  { echo "warm rerun was not fully served from cache"; exit 1; }
+diff <(grep -v '^\[' "$work/cold.txt") <(grep -v '^\[' "$work/warm.txt")
+echo "   100% hits, byte-identical"
+
+echo "== -strict-profile must pass on an in-profile corpus"
+"$work/ksaexp" -exp specialize -scale quick -strict-profile \
+  -cache "$work/cache" >/dev/null
+echo "   exit 0 under -strict-profile"
+
+echo "== specialize smoke OK"
