@@ -9,6 +9,7 @@
 //	       [-worker-bin path] [-scale ...] [-seed N] [-cache dir] [-fault name]
 //	ksaexp -exp density [-tenants list] [-requests N] [-exact-stats] [-scale ...]
 //	ksaexp -exp specialize [-strict-profile] [-scale ...] [-cache dir]
+//	ksaexp -exp isolation [-scale ...] [-csv dir]
 //
 // Every experiment reports wall time, simulated events, and the peak heap
 // high-water observed while it ran; -exact-stats swaps the bounded-memory
@@ -55,7 +56,7 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference,density,specialize or all (lightvm/ablation/blame/interference/density/specialize are extensions, not in 'all')")
+	exps := flag.String("exp", "all", "comma-separated: table1,table2,fig2,table3,fig3,fig4,lightvm,ablation,blame,interference,density,specialize,isolation or all (lightvm/ablation/blame/interference/density/specialize/isolation are extensions, not in 'all')")
 	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (unset = keep)")
 	parallel := flag.Int("parallel", 0, "worker threads for independent simulations (0 = GOMAXPROCS); results are bit-identical for any value")
@@ -273,6 +274,16 @@ func main() {
 					res.MeasuredFaults)
 				os.Exit(1)
 			}
+		})
+	}
+	if want["isolation"] {
+		run("isolation", func() {
+			res := ksa.RunIsolation(sc)
+			fmt.Println(res.Render())
+			writeCSV("isolation", func(f *os.File) error {
+				_, err := f.WriteString(res.CSV())
+				return err
+			})
 		})
 	}
 	if want["interference"] {

@@ -8,11 +8,12 @@ import (
 	"ksa"
 )
 
-// The experiment registry has three user-facing mirrors that cannot be
+// The experiment registry has four user-facing mirrors that cannot be
 // checked by the compiler: the ksaexp -exp usage string, the daemon's
-// JobSpec validator, and the JobSpec doc comment. This guard fails when a
-// new experiment lands in core.ExperimentNames without the mirrors — the
-// drift that silently makes an experiment unreachable from one surface.
+// JobSpec validator, the JobSpec doc comment, and the README's experiment
+// listings. This guard fails when a new experiment lands in
+// core.ExperimentNames without the mirrors — the drift that silently makes
+// an experiment unreachable from one surface.
 func TestExperimentSurfacesStayInSync(t *testing.T) {
 	names := ksa.ExperimentNames()
 	if len(names) == 0 {
@@ -28,6 +29,10 @@ func TestExperimentSurfacesStayInSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, name := range names {
 		// Every registered experiment is offered by the CLI's -exp flag.
@@ -37,6 +42,11 @@ func TestExperimentSurfacesStayInSync(t *testing.T) {
 		// And documented on the wire spec.
 		if !strings.Contains(string(jobSrc), name) {
 			t.Errorf("experiment %q missing from internal/daemon/job.go's JobSpec doc", name)
+		}
+		// And mentioned in the README (the experiment tour and the daemon
+		// job-type listing).
+		if !strings.Contains(string(readme), name) {
+			t.Errorf("experiment %q missing from README.md", name)
 		}
 		// And accepted by the daemon's validator.
 		spec := ksa.JobSpec{Type: "experiment", Exp: name}

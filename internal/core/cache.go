@@ -159,12 +159,16 @@ func (sc Scale) cacheSnapshot() resultcache.Stats {
 // cachedCell runs one (environment, options) varbench cell of a
 // table/figure experiment through the cache. The cell's entire randomness
 // is opts.Seed: it seeds both environment construction and the harness.
+// Traced and contention-recording runs bypass the cache in both
+// directions — their Results carry live tracers / an isolation recorder
+// that cannot be serialized, and a cached payload could not reproduce
+// them — so such runs neither read nor write entries.
 func (sc Scale) cachedCell(spec EnvSpec, m platform.Machine, c *corpus.Corpus,
 	digest string, opts varbench.Options) *varbench.Result {
 	fresh := func() *varbench.Result {
 		return varbench.Run(spec.Build(sim.NewEngine(), m, opts.Seed), c, opts)
 	}
-	if sc.Cache == nil || opts.Trace != nil {
+	if sc.Cache == nil || opts.Trace != nil || opts.Contention {
 		return fresh()
 	}
 	sig := ""

@@ -255,6 +255,20 @@ func TestTracedRunsBypassCache(t *testing.T) {
 	if swept.Par.CacheHits != 0 || swept.Par.CacheMisses != 0 {
 		t.Fatalf("traced sweep reported cache traffic: %+v", swept.Par)
 	}
+
+	// Contention-recording cells bypass identically: the isolation recorder
+	// is as unserializable as a live tracer, so such runs must neither read
+	// nor write entries (a cached payload could never carry the recorder).
+	copts := sc.vbOptions()
+	copts.Contention = true
+	cres := sc.cachedCell(EnvSpec{Kind: platform.KindVMs, Units: 2},
+		platform.Machine{Cores: 8, MemGB: 4}, c, "ignored", copts)
+	if cres == nil || cres.Isolation == nil {
+		t.Fatal("contention run carried no recorder")
+	}
+	if s := st.Stats(); s.Lookups() != 0 || s.Puts != 0 {
+		t.Fatalf("contention run touched the cache: %+v", s)
+	}
 }
 
 func TestVarbenchKeyInvalidation(t *testing.T) {

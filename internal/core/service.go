@@ -141,7 +141,8 @@ func SweepCached(o SweepOptions) (*corpus.Corpus, bool) {
 // dispatches, in canonical order.
 func ExperimentNames() []string {
 	return []string{"table1", "table2", "fig2", "table3", "fig3", "fig4",
-		"lightvm", "ablation", "interference", "density", "specialize"}
+		"lightvm", "ablation", "interference", "density", "specialize",
+		"isolation"}
 }
 
 // RunExperimentContext runs one named paper experiment (see
@@ -189,6 +190,9 @@ func RunExperimentContext(ctx context.Context, sc Scale, name, faultName string)
 		return renderOr(r.Render, err)
 	case "specialize":
 		r, err := RunSpecializeContext(ctx, sc)
+		return renderOr(r.Render, err)
+	case "isolation":
+		r, err := RunIsolationContext(ctx, sc)
 		return renderOr(r.Render, err)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (want one of %s)",

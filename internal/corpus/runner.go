@@ -63,6 +63,10 @@ type Runner struct {
 	// (err is always ErrSyscallUnmapped). Nil discards; the fault is still
 	// counted in the kernel's Stats.UnmappedCalls either way.
 	OnFault func(call int, sys syscalls.ID, err error)
+	// Tenant is the stable tenant identity stamped on every submitted task
+	// (trace events, isolation accounting). The harness assigns one tenant
+	// per machine core; zero is fine for single-tenant users.
+	Tenant int
 
 	// Replay arenas, reused across calls and iterations.
 	results []uint64    // per-call return values of the in-flight program
@@ -193,6 +197,7 @@ func (cr *compiledRun) exec() {
 		t.Ops = enosysOps
 		t.AddrSpace = r.Proc.MM
 		t.OnDone = cr.onDone
+		t.Tenant = r.Tenant
 		if r.Label != nil {
 			t.Label = r.Label(cr.i, c.spec.Name)
 		} else {
@@ -212,6 +217,7 @@ func (cr *compiledRun) exec() {
 	t.Ops = ops
 	t.AddrSpace = r.Proc.MM
 	t.OnDone = cr.onDone
+	t.Tenant = r.Tenant
 	if r.Label != nil {
 		t.Label = r.Label(cr.i, c.spec.Name)
 	} else {

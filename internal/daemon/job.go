@@ -25,7 +25,7 @@ type JobSpec struct {
 	Type string `json:"type"`
 	// Exp names the paper experiment for Type "experiment" (table1,
 	// table2, fig2, table3, fig3, fig4, lightvm, ablation, interference,
-	// density, specialize).
+	// density, specialize, isolation).
 	Exp string `json:"exp,omitempty"`
 	// Scale is "quick" or "default" (the default).
 	Scale string `json:"scale,omitempty"`

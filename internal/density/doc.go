@@ -1,0 +1,19 @@
+// Package density simulates high-density serverless tenancy: thousands of
+// ephemeral tenants arriving in a Poisson stream, each booting an isolation
+// unit on one of the paper's kernel surfaces (a shared container kernel, a
+// per-tenant KVM partition, or a per-tenant specialized kernel), running a
+// cold-start syscall burst a few times, and tearing down.
+//
+// The scenario stresses the two axes the paper's Table 1 grid cannot: kernel
+// create/teardown churn (tens of thousands of short-lived guest kernels per
+// run) and recorded-sample volume (millions of call latencies per cell). The
+// second axis is why the stats layer's bounded-memory quantile sketch is the
+// default backend — a 100k-tenant cell records ~10M latencies per category
+// stream and still fits a fixed ~64KiB histogram per stream, where exact
+// retained samples grow linearly and blow past a modest GOMEMLIMIT.
+//
+// Everything is deterministic: all randomness derives from Options.Seed via
+// rng.Split, so a cell is bit-identical across runs, worker counts, and the
+// sketch/exact backend choice (the recorded latencies are identical; only
+// their representation differs).
+package density

@@ -64,8 +64,23 @@ func (k *Kernel) step(c *core, t *Task) {
 				}
 				k.stats.InjLockWait += injWait
 			}
+			if iso := k.iso; iso != nil {
+				s := iso.lockScopes[op.Lock]
+				s.Touch(t.Tenant)
+				if wait > 0 {
+					// The emergent remainder of the wait is cross-tenant by
+					// construction: with one task per tenant, a tenant whose
+					// only task is queued holds nothing itself (DESIGN §15).
+					s.Wait(t.Tenant, wait, injWait)
+					t.isoWait += wait
+					t.isoCross += wait - injWait
+					t.isoInj += injWait
+				}
+			}
 			if tr := k.tracer; tr != nil {
 				tr.LockAcquired(t.blame, k.eng.Now(), c.id, TraceLockName(op.Lock), wait, injWait, waiters)
+			}
+			if k.tracer != nil || k.iso != nil {
 				t.lockAcqAt = append(t.lockAcqAt, k.eng.Now())
 			}
 			k.step(c, t)
@@ -78,9 +93,15 @@ func (k *Kernel) step(c *core, t *Task) {
 		}
 		t.lockStack = t.lockStack[:n-1]
 		k.stats.LockHolds++
-		if tr := k.tracer; tr != nil && len(t.lockAcqAt) > 0 {
+		if (k.tracer != nil || k.iso != nil) && len(t.lockAcqAt) > 0 {
 			last := len(t.lockAcqAt) - 1
-			tr.LockReleased(k.eng.Now(), c.id, TraceLockName(op.Lock), k.eng.Now()-t.lockAcqAt[last])
+			hold := k.eng.Now() - t.lockAcqAt[last]
+			if tr := k.tracer; tr != nil {
+				tr.LockReleased(k.eng.Now(), c.id, t.Tenant, TraceLockName(op.Lock), hold)
+			}
+			if iso := k.iso; iso != nil {
+				iso.lockScopes[op.Lock].Hold(t.Tenant, hold)
+			}
 			t.lockAcqAt = t.lockAcqAt[:last]
 		}
 		k.locks[op.Lock].Release()
@@ -218,6 +239,7 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 	}
 	reqAt := k.eng.Now()
 	k.ipiBus.Acquire(func() {
+		grantAt := k.eng.Now()
 		cost := k.par.IPIBase + sim.Time(targets)*k.par.IPIPerTarget
 		if v := k.cfg.Virt; v != nil && op.Exits > 0 {
 			// Each remote vCPU kick traps to the hypervisor.
@@ -229,8 +251,16 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 			}
 		}
 		k.stats.IPITargets += uint64(targets)
+		if iso := k.iso; iso != nil {
+			iso.ipi.Touch(t.Tenant)
+			if busWait := grantAt - reqAt; busWait > 0 {
+				iso.ipi.Wait(t.Tenant, busWait, 0)
+				t.isoWait += busWait
+				t.isoCross += busWait
+			}
+		}
 		if tr := k.tracer; tr != nil {
-			tr.IPI(t.blame, k.eng.Now(), c.id, targets, k.eng.Now()-reqAt, cost)
+			tr.IPI(t.blame, k.eng.Now(), c.id, targets, grantAt-reqAt, cost)
 		}
 		// Only the dispatch path holds the shared bus; waiting for the
 		// remaining acks overlaps with other senders.
@@ -241,6 +271,9 @@ func (k *Kernel) runIPI(c *core, t *Task, op Op) {
 				if other != c {
 					other.pendingSteal += k.par.IPIHandlerCost
 				}
+			}
+			if iso := k.iso; iso != nil {
+				iso.ipi.Hold(t.Tenant, k.eng.Now()-grantAt)
 			}
 			k.ipiBus.Release()
 			rest := cost - busHold
@@ -264,7 +297,16 @@ func (k *Kernel) runBlockIO(c *core, t *Task, op Op) {
 	q := k.blockDev
 	reqAt := k.eng.Now()
 	q.Acquire(func() {
-		qWait := k.eng.Now() - reqAt
+		grantAt := k.eng.Now()
+		qWait := grantAt - reqAt
+		if iso := k.iso; iso != nil {
+			iso.blk.Touch(t.Tenant)
+			if qWait > 0 {
+				iso.blk.Wait(t.Tenant, qWait, 0)
+				t.isoWait += qWait
+				t.isoCross += qWait
+			}
+		}
 		v := k.cfg.Virt
 		if v != nil && v.HostBlockQueue != nil {
 			relay := v.VirtioRelay + sim.Time(op.Exits)*v.ExitCost
@@ -274,10 +316,25 @@ func (k *Kernel) runBlockIO(c *core, t *Task, op Op) {
 			}
 			hostReq := k.eng.Now()
 			v.HostBlockQueue.Acquire(func() {
-				hostWait := k.eng.Now() - hostReq
+				hostGrant := k.eng.Now()
+				hostWait := hostGrant - hostReq
+				if iso := k.iso; iso != nil && iso.host != nil {
+					iso.host.Touch(t.Tenant)
+					if hostWait > 0 {
+						iso.host.Wait(t.Tenant, hostWait, 0)
+						t.isoWait += hostWait
+						t.isoCross += hostWait
+					}
+				}
 				k.eng.After(service+relay, func() {
 					if tr := k.tracer; tr != nil {
 						tr.BlockIO(t.blame, k.eng.Now(), c.id, qWait+hostWait, service+relay)
+					}
+					if iso := k.iso; iso != nil {
+						if iso.host != nil {
+							iso.host.Hold(t.Tenant, k.eng.Now()-hostGrant)
+						}
+						iso.blk.Hold(t.Tenant, k.eng.Now()-grantAt)
 					}
 					v.HostBlockQueue.Release()
 					q.Release()
@@ -289,6 +346,9 @@ func (k *Kernel) runBlockIO(c *core, t *Task, op Op) {
 		k.eng.After(service, func() {
 			if tr := k.tracer; tr != nil {
 				tr.BlockIO(t.blame, k.eng.Now(), c.id, qWait, service)
+			}
+			if iso := k.iso; iso != nil {
+				iso.blk.Hold(t.Tenant, k.eng.Now()-grantAt)
 			}
 			q.Release()
 			k.step(c, t)

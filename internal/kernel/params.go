@@ -35,6 +35,12 @@ type Config struct {
 	// acquisitions are counted, and housekeeping/cache params shrink to the
 	// profiled footprint (see reduction.go). Nil is the full surface.
 	Reduction *Reduction
+	// SharedBlockDev, if non-nil, replaces the kernel's private block-device
+	// queue with one shared across co-located kernels — the MultiK-style
+	// specialized node, where per-tenant kernels bypass a hypervisor but
+	// still contend on the one physical disk. Nil keeps a private queue of
+	// depth Params.BlockQueueDepth.
+	SharedBlockDev *sim.Semaphore
 }
 
 // VirtModel is the bounded virtualization tax a guest kernel pays. The

@@ -35,12 +35,20 @@ func Specialized(eng *sim.Engine, m Machine, n int, src *rng.Source, red *kernel
 	}
 	coresPer := m.Cores / n
 	memPer := m.MemGB / float64(n)
+	// Co-located kernels bypass a hypervisor but still share the node's one
+	// physical disk: block I/O contends on a node-wide queue. Unlike the VM
+	// environments, no host-side I/O scheduler sits between the kernels and
+	// the device to coalesce and re-order submissions, so fewer effective
+	// slots are in flight (4 versus the host relay's 8). This is the
+	// residual shared surface MultiK cannot specialize away.
+	node := sim.NewSemaphore(eng, "node-blk", 4)
 	for i := 0; i < n; i++ {
 		k := kernel.New(eng, kernel.Config{
-			Name:      fmt.Sprintf("spec%d", i),
-			Cores:     coresPer,
-			MemGB:     memPer,
-			Reduction: red,
+			Name:           fmt.Sprintf("spec%d", i),
+			Cores:          coresPer,
+			MemGB:          memPer,
+			Reduction:      red,
+			SharedBlockDev: node,
 		}, src.Split(uint64(i)+0x5350))
 		e.Kernels = append(e.Kernels, k)
 		for c := 0; c < coresPer; c++ {

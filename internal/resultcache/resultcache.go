@@ -45,7 +45,7 @@ import (
 // schedule, rng derivation, corpus generation): stale entries then miss by
 // construction instead of serving results the current code would not
 // produce. Codec format changes are versioned separately inside payloads.
-const CodeVersion = "ksa-sim-3"
+const CodeVersion = "ksa-sim-4"
 
 // Key identifies one cached result: the complete set of inputs that
 // determine the result's bits, each in its canonical string form. Two runs

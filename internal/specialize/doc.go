@@ -1,0 +1,28 @@
+// Package specialize is the profile-guided kernel-specialization engine:
+// the simulator's analog of KASR's reachable-code profiling and MultiK's
+// per-tenant specialized kernels (see PAPERS.md).
+//
+// The pipeline has three phases. Phase 1 (profile) runs a corpus under the
+// existing deterministic machinery and derives a canonical Profile: the
+// syscall set the corpus reaches, the lock slabs/subsystems it touches, and
+// the cache-footprint high-water marks of its processes. Phase 2 (generate)
+// turns a Profile into a kernel.Reduction — unreached syscalls unmapped
+// (dispatches fault with corpus.ErrSyscallUnmapped, counted in
+// kernel.Stats), untouched subsystems' lock slabs dropped from the retained
+// set, housekeeping daemons and cache working sets shrunk to the profiled
+// footprint. Phase 3 (orchestrate) lives in internal/platform and
+// internal/core: the "specialized-N" environment deploys N per-tenant
+// kernels generated from one profile on a shared node, MultiK-style.
+//
+// Two experiments consume the pipeline: "specialize" measures the surface
+// reduction and its soundness (bit-identical in-profile replay, faulting
+// out-of-profile probes), and "isolation" scores the deployed result —
+// co-located specialized kernels share only the node's physical block
+// device, which internal/isolation's tenant×lock contention graph makes
+// directly measurable (see docs/METRICS.md).
+//
+// Everything is deterministic: the same corpus and seed produce a
+// byte-identical canonical profile, whose Sig() participates in result
+// cache keys so specialized results can never collide with full-surface
+// entries.
+package specialize

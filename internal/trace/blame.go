@@ -42,7 +42,10 @@ type lockAmount struct {
 type TaskBlame struct {
 	Label string
 	Core  int
-	Start sim.Time
+	// Tenant is the task's stable tenant identity (int(NoTenant) when the
+	// submitter carries none).
+	Tenant int
+	Start  sim.Time
 
 	QueueWait sim.Time
 	Compute   sim.Time
@@ -80,9 +83,12 @@ type Part struct {
 type BlameRecord struct {
 	Label string
 	Core  int
-	Start sim.Time
-	End   sim.Time
-	Wall  sim.Time
+	// Tenant is the task's tenant identity, carried so cross-tenant blame
+	// reports can group outliers by victim tenant.
+	Tenant int
+	Start  sim.Time
+	End    sim.Time
+	Wall   sim.Time
 	// Cause is the dominant contributor; CauseTime its share of Wall.
 	Cause     string
 	CauseTime sim.Time
@@ -126,8 +132,8 @@ func (tb *TaskBlame) record(end, wall sim.Time) BlameRecord {
 		return parts[i].Cause < parts[j].Cause
 	})
 	rec := BlameRecord{
-		Label: tb.Label, Core: tb.Core, Start: tb.Start, End: end,
-		Wall: wall, Parts: parts,
+		Label: tb.Label, Core: tb.Core, Tenant: tb.Tenant, Start: tb.Start,
+		End: end, Wall: wall, Parts: parts,
 	}
 	if len(parts) > 0 {
 		rec.Cause = parts[0].Cause

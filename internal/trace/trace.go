@@ -93,15 +93,23 @@ func (k EventKind) String() string {
 }
 
 // Event is one ring-buffer entry. The meaning of What/Dur/Aux depends on
-// Kind (see the kind constants).
+// Kind (see the kind constants). Tenant is the stable tenant identity of
+// the task the event belongs to (NoTenant for kernel-internal or injected
+// activity with no owning tenant).
 type Event struct {
-	At   sim.Time
-	Kind EventKind
-	Core int32
-	What string
-	Dur  sim.Time
-	Aux  int64
+	At     sim.Time
+	Kind   EventKind
+	Core   int32
+	Tenant int32
+	What   string
+	Dur    sim.Time
+	Aux    int64
 }
+
+// NoTenant marks events carrying no tenant identity. It mirrors
+// isolation.NoTenant; trace keeps its own constant so the tenant tagging
+// does not depend on the aggregation package.
+const NoTenant int32 = -1
 
 // StealKind names a CPU-steal stream for blame attribution.
 type StealKind uint8
@@ -244,10 +252,11 @@ func (tr *Tracer) lockStat(name string) *LockStat {
 
 // BeginTask opens a per-task blame accumulator. start is the task's submit
 // time (wall time is measured from it), queueWait the CPU queueing already
-// paid before the first instruction.
-func (tr *Tracer) BeginTask(at sim.Time, core int, label string, start, queueWait sim.Time) *TaskBlame {
-	tb := &TaskBlame{Label: label, Core: core, Start: start, QueueWait: queueWait}
-	tr.emit(Event{At: at, Kind: EvTaskStart, Core: int32(core), What: label, Dur: queueWait})
+// paid before the first instruction, tenant the task's stable tenant
+// identity (NoTenant when the submitter carries none).
+func (tr *Tracer) BeginTask(at sim.Time, core int, tenant int, label string, start, queueWait sim.Time) *TaskBlame {
+	tb := &TaskBlame{Label: label, Core: core, Tenant: tenant, Start: start, QueueWait: queueWait}
+	tr.emit(Event{At: at, Kind: EvTaskStart, Core: int32(core), Tenant: int32(tenant), What: label, Dur: queueWait})
 	return tb
 }
 
@@ -284,20 +293,30 @@ func (tr *Tracer) LockAcquired(tb *TaskBlame, at sim.Time, core int, name string
 		tb.addLock(name, wait-injWait)
 		tb.InjLockWait += injWait
 	}
-	tr.emit(Event{At: at, Kind: EvLockAcquire, Core: int32(core), What: name, Dur: wait, Aux: int64(waiters)})
+	tr.emit(Event{At: at, Kind: EvLockAcquire, Core: int32(core), Tenant: tbTenant(tb), What: name, Dur: wait, Aux: int64(waiters)})
+}
+
+// tbTenant extracts the event tenant tag from a possibly-nil accumulator.
+func tbTenant(tb *TaskBlame) int32 {
+	if tb == nil {
+		return NoTenant
+	}
+	return int32(tb.Tenant)
 }
 
 // InjectedHold records one completed injected lock hold (the injector is
 // not a task, so there is no blame accumulator — victims' waits are
 // attributed via LockAcquired's injWait instead).
 func (tr *Tracer) InjectedHold(at sim.Time, what string, kind int, d sim.Time) {
-	tr.emit(Event{At: at, Kind: EvInject, Core: -1, What: what, Dur: d, Aux: int64(kind)})
+	tr.emit(Event{At: at, Kind: EvInject, Core: -1, Tenant: NoTenant, What: what, Dur: d, Aux: int64(kind)})
 }
 
 // LockReleased records a kernel lock release and the hold time (holder
 // preemption included — a housekeeping burst landing on the holder shows
-// up here as an extended hold).
-func (tr *Tracer) LockReleased(at sim.Time, core int, name string, hold sim.Time) {
+// up here as an extended hold). tenant is the holder's tenant identity —
+// the hold edge of the tenant×lock contention graph (NoTenant when the
+// holder carries none).
+func (tr *Tracer) LockReleased(at sim.Time, core int, tenant int, name string, hold sim.Time) {
 	ls := tr.lockStat(name)
 	ls.Holds++
 	ls.TotalHold += hold
@@ -305,7 +324,7 @@ func (tr *Tracer) LockReleased(at sim.Time, core int, name string, hold sim.Time
 		ls.MaxHold = hold
 	}
 	ls.Hold.Add(hold.Micros())
-	tr.emit(Event{At: at, Kind: EvLockRelease, Core: int32(core), What: name, Dur: hold})
+	tr.emit(Event{At: at, Kind: EvLockRelease, Core: int32(core), Tenant: int32(tenant), What: name, Dur: hold})
 }
 
 // MMapWait records an address-space rw-semaphore wait. It aggregates under
@@ -325,7 +344,7 @@ func (tr *Tracer) MMapWait(tb *TaskBlame, at sim.Time, core int, wait sim.Time) 
 	if tb != nil {
 		tb.addLock(MMapSemName, wait)
 	}
-	tr.emit(Event{At: at, Kind: EvMMapWait, Core: int32(core), What: MMapSemName, Dur: wait})
+	tr.emit(Event{At: at, Kind: EvMMapWait, Core: int32(core), Tenant: tbTenant(tb), What: MMapSemName, Dur: wait})
 }
 
 // MMapSemName is the pseudo-lock name mmap_sem waits aggregate under.
@@ -337,7 +356,7 @@ func (tr *Tracer) Steal(tb *TaskBlame, at sim.Time, core int, kind StealKind, d 
 	if tb != nil {
 		tb.Steal[kind] += d
 	}
-	tr.emit(Event{At: at, Kind: EvSteal, Core: int32(core), What: kind.String(), Dur: d})
+	tr.emit(Event{At: at, Kind: EvSteal, Core: int32(core), Tenant: tbTenant(tb), What: kind.String(), Dur: d})
 }
 
 // IPI records a broadcast the task sent: busWait is the serialization wait
@@ -346,7 +365,7 @@ func (tr *Tracer) IPI(tb *TaskBlame, at sim.Time, core int, targets int, busWait
 	if tb != nil {
 		tb.IPI += busWait + cost
 	}
-	tr.emit(Event{At: at, Kind: EvIPI, Core: int32(core), Dur: busWait, Aux: int64(targets)})
+	tr.emit(Event{At: at, Kind: EvIPI, Core: int32(core), Tenant: tbTenant(tb), Dur: busWait, Aux: int64(targets)})
 }
 
 // BlockIO records one block-device round trip: wait is queueing (guest
@@ -356,12 +375,12 @@ func (tr *Tracer) BlockIO(tb *TaskBlame, at sim.Time, core int, wait, service si
 	if tb != nil {
 		tb.BlockIO += wait + service
 	}
-	tr.emit(Event{At: at, Kind: EvBlockIO, Core: int32(core), Dur: wait, Aux: int64(service)})
+	tr.emit(Event{At: at, Kind: EvBlockIO, Core: int32(core), Tenant: tbTenant(tb), Dur: wait, Aux: int64(service)})
 }
 
 // VMExit counts n VM exits charged at the given core.
 func (tr *Tracer) VMExit(at sim.Time, core int, n int) {
-	tr.emit(Event{At: at, Kind: EvVMExit, Core: int32(core), Aux: int64(n)})
+	tr.emit(Event{At: at, Kind: EvVMExit, Core: int32(core), Tenant: NoTenant, Aux: int64(n)})
 }
 
 // Sleep records a voluntary off-CPU wait (tick-quantized wakeup included).
@@ -369,7 +388,7 @@ func (tr *Tracer) Sleep(tb *TaskBlame, at sim.Time, core int, d sim.Time) {
 	if tb != nil {
 		tb.Sleep += d
 	}
-	tr.emit(Event{At: at, Kind: EvSleep, Core: int32(core), Dur: d})
+	tr.emit(Event{At: at, Kind: EvSleep, Core: int32(core), Tenant: tbTenant(tb), Dur: d})
 }
 
 // EndTask closes the task's accounting. Tasks whose wall time meets the
@@ -377,7 +396,7 @@ func (tr *Tracer) Sleep(tb *TaskBlame, at sim.Time, core int, d sim.Time) {
 func (tr *Tracer) EndTask(tb *TaskBlame, at sim.Time, wall sim.Time) {
 	tr.tasks++
 	if tb != nil {
-		tr.emit(Event{At: at, Kind: EvTaskEnd, Core: int32(tb.Core), What: tb.Label, Dur: wall})
+		tr.emit(Event{At: at, Kind: EvTaskEnd, Core: int32(tb.Core), Tenant: int32(tb.Tenant), What: tb.Label, Dur: wall})
 	}
 	if tb == nil || wall < tr.opts.Threshold {
 		return

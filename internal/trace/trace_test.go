@@ -33,7 +33,7 @@ func TestRingOverwriteCountsDrops(t *testing.T) {
 
 func TestBlameRecordDecomposition(t *testing.T) {
 	tr := New("k", Options{Threshold: us(100)})
-	tb := tr.BeginTask(0, 3, "p0/c1 fsync", 0, us(5))
+	tb := tr.BeginTask(0, 3, 1, "p0/c1 fsync", 0, us(5))
 	tr.Compute(tb, us(10))
 	tr.LockAcquired(tb, us(50), 3, "journal", us(60), 0, 7)
 	tr.LockAcquired(tb, us(55), 3, "journal", us(20), 0, 1) // same lock accumulates
@@ -84,7 +84,7 @@ func TestBlameRecordDecomposition(t *testing.T) {
 
 func TestBelowThresholdNotRecorded(t *testing.T) {
 	tr := New("k", Options{Threshold: us(1000)})
-	tb := tr.BeginTask(0, 0, "fast", 0, 0)
+	tb := tr.BeginTask(0, 0, 0, "fast", 0, 0)
 	tr.Compute(tb, us(5))
 	tr.EndTask(tb, us(5), us(5))
 	if tr.Outliers() != 0 || len(tr.Records()) != 0 {
@@ -98,7 +98,7 @@ func TestBelowThresholdNotRecorded(t *testing.T) {
 func TestMaxRecordsCap(t *testing.T) {
 	tr := New("k", Options{Threshold: 1, MaxRecords: 2})
 	for i := 0; i < 5; i++ {
-		tb := tr.BeginTask(0, 0, "slow", 0, 0)
+		tb := tr.BeginTask(0, 0, 0, "slow", 0, 0)
 		tr.EndTask(tb, us(10), us(10))
 	}
 	if len(tr.Records()) != 2 {
@@ -131,7 +131,7 @@ func TestLockStatsAggregationAndOrder(t *testing.T) {
 	tr := New("k", Options{})
 	tr.LockAcquired(nil, 0, 0, "a", us(10), 0, 2)
 	tr.LockAcquired(nil, 0, 0, "a", 0, 0, 0)
-	tr.LockReleased(0, 0, "a", us(3))
+	tr.LockReleased(0, 0, 0, "a", us(3))
 	tr.LockAcquired(nil, 0, 0, "b", us(40), 0, 5)
 	tr.MMapWait(nil, 0, 0, us(2))
 
@@ -158,7 +158,7 @@ func TestMergeLockStats(t *testing.T) {
 	mk := func(wait sim.Time) *Tracer {
 		tr := New("k", Options{})
 		tr.LockAcquired(nil, 0, 0, "journal", wait, 0, 1)
-		tr.LockReleased(0, 0, "journal", wait/2)
+		tr.LockReleased(0, 0, 0, "journal", wait/2)
 		return tr
 	}
 	a, b := mk(us(10)), mk(us(30))
@@ -185,7 +185,7 @@ func TestMergeLockStats(t *testing.T) {
 func TestTotalsOf(t *testing.T) {
 	tr := New("k", Options{Threshold: 1})
 	for i := 0; i < 3; i++ {
-		tb := tr.BeginTask(0, 0, "x", 0, 0)
+		tb := tr.BeginTask(0, 0, 0, "x", 0, 0)
 		tr.LockAcquired(tb, 0, 0, "journal", us(50), 0, 0)
 		tr.Compute(tb, us(5))
 		tr.EndTask(tb, us(55), us(55))

@@ -15,6 +15,7 @@ import (
 
 	"ksa/internal/corpus"
 	"ksa/internal/fault"
+	"ksa/internal/isolation"
 	"ksa/internal/platform"
 	"ksa/internal/rng"
 	"ksa/internal/sim"
@@ -69,6 +70,14 @@ type Options struct {
 	// options fingerprint: exact and sketch runs never share cache
 	// entries.
 	ExactStats bool
+	// Contention, when true, attaches one isolation.Recorder across every
+	// kernel of the environment and tags each core's work with its tenant
+	// identity (tenant = global core index), so the Result carries the
+	// tenant×lock contention graph. Like Trace it is observational — the
+	// measured latencies are bit-identical either way — and like Trace it
+	// bypasses the result cache (a Result's live Recorder is not
+	// serializable), so it is excluded from Fingerprint.
+	Contention bool
 }
 
 // DefaultOptions returns the scaled-down defaults used throughout the
@@ -108,10 +117,10 @@ func (o Options) withDefaults() Options {
 
 // Fingerprint renders the result-shaping harness knobs canonically, with
 // defaults applied — the options component of a result-cache key. Seed,
-// Trace, and Faults are deliberately excluded: the seed is its own key
-// component, tracing is observational (and traced runs bypass the cache —
-// a Result's live Tracers are not serializable), and the fault plan is
-// keyed by its signature.
+// Trace, Contention, and Faults are deliberately excluded: the seed is its
+// own key component, tracing and contention recording are observational
+// (and such runs bypass the cache — a Result's live Tracers and Recorder
+// are not serializable), and the fault plan is keyed by its signature.
 func (o Options) Fingerprint() string {
 	o = o.withDefaults()
 	stats := "sketch"
@@ -146,6 +155,10 @@ type Result struct {
 	// Tracers holds one tracer per kernel of the environment when
 	// Options.Trace was set; empty otherwise.
 	Tracers []*trace.Tracer
+
+	// Isolation is the environment-wide tenant×lock contention recorder
+	// when Options.Contention was set; nil otherwise.
+	Isolation *isolation.Recorder
 
 	index     map[Site]int
 	labelSite map[string]Site
@@ -245,6 +258,12 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 			res.Tracers = append(res.Tracers, tr)
 		}
 	}
+	if opts.Contention {
+		res.Isolation = isolation.NewRecorder(nCores)
+		for _, k := range env.Kernels {
+			k.EnableIsolation(res.Isolation)
+		}
+	}
 	// Compile each program once; every core replays the compiled form on
 	// every iteration. siteBase[p] is program p's first site index, so the
 	// per-call record path below is plain arithmetic instead of a map
@@ -301,6 +320,10 @@ func Run(env *platform.Environment, c *corpus.Corpus, opts Options) *Result {
 	for core := 0; core < nCores; core++ {
 		ref := env.Core(core)
 		runners[core] = corpus.NewRunner(env.Eng, ref.Kernel, ref.Core, tab)
+		// The tenant behind a global core index is the same workload in
+		// every environment — only the kernel boundary around it moves —
+		// which is what makes isolation scores comparable across the sweep.
+		runners[core].Tenant = core
 	}
 
 	// Each core walks the same schedule: for each program, for each

@@ -116,6 +116,11 @@ type (
 	// SpecializeResult is the profile-guided specialization experiment's
 	// output: reduction shape, soundness proof, and latency comparison.
 	SpecializeResult = core.SpecializeResult
+	// IsolationResult is the tenant×lock contention experiment's output:
+	// per-environment isolation scores and top-leaking-lock reports.
+	IsolationResult = core.IsolationResult
+	// IsolationRow is one environment's isolation score and leak summary.
+	IsolationRow = core.IsolationRow
 	// WorkloadProfile is what a corpus was observed to reach — the input
 	// to kernel specialization (EnvSpec.Profile).
 	WorkloadProfile = specialize.Profile
@@ -294,6 +299,9 @@ var (
 	// profile the corpus, generate per-tenant reduced kernels, prove the
 	// reduction sound, and compare against the full-surface environments.
 	RunSpecialize = core.RunSpecialize
+	// RunIsolation measures cross-tenant lock contention across the
+	// surface-area grid and derives each environment's isolation score.
+	RunIsolation = core.RunIsolation
 	// ProfileCorpus derives a corpus's deterministic workload profile.
 	ProfileCorpus = specialize.ProfileCorpus
 	// SpecializeKernel generates the reduced kernel configuration for a

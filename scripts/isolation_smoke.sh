@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Isolation smoke: drive the tenant-aware lock-contention experiment end to
+# end through the CLI and assert its contract lines.
+#
+# Assertions:
+#   1. the score ranks the three isolation strategies the paper's
+#      surface-area argument predicts: docker-64 > specialized-64 > kvm-64
+#      (containers leak the most, KVM partitions the least, co-located
+#      specialized kernels sit between — only the physical block device is
+#      still shared);
+#   2. the shared-lock surface collapses with partitioning: docker-64
+#      shares every touched family, kvm-64 and specialized-64 exactly one;
+#   3. serial and 4-worker runs render byte-identically (same digest);
+#   4. contention cells bypass the result cache — a run against a cache
+#      directory reports no hits and writes no entries.
+#
+# Usage: scripts/isolation_smoke.sh [workdir]
+set -euo pipefail
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+
+echo "== isolation smoke in $work"
+go build -o "$work/ksaexp" ./cmd/ksaexp
+
+echo "== serial run"
+"$work/ksaexp" -exp isolation -scale quick -parallel 1 >"$work/serial.txt"
+
+score_of() { # score_of <env> -> the env's isolation score
+  sed -n "s/^isolation $1 score \([0-9.]*\).*/\1/p" "$work/serial.txt"
+}
+
+docker=$(score_of docker-64)
+spec=$(score_of specialized-64)
+kvm=$(score_of kvm-64)
+[ -n "$docker" ] && [ -n "$spec" ] && [ -n "$kvm" ] ||
+  { echo "missing score lines (docker-64='$docker' specialized-64='$spec' kvm-64='$kvm')"; exit 1; }
+awk -v d="$docker" -v s="$spec" -v k="$kvm" \
+  'BEGIN { exit !(d > s && s > k) }' ||
+  { echo "score ordering violated: docker-64=$docker specialized-64=$spec kvm-64=$kvm (want docker-64 > specialized-64 > kvm-64)"; exit 1; }
+echo "   score ranks docker-64 ($docker) > specialized-64 ($spec) > kvm-64 ($kvm)"
+
+surface_of() { # surface_of <env> -> "shared touched"
+  sed -n "s|^isolation $1 score .* shared-surface \([0-9]*\)/\([0-9]*\)$|\1 \2|p" "$work/serial.txt"
+}
+
+read -r dshared dtouched <<<"$(surface_of docker-64)"
+[ -n "$dshared" ] && [ "$dshared" -eq "$dtouched" ] && [ "$dshared" -gt 1 ] ||
+  { echo "docker-64 should share every touched lock family (got ${dshared:-none}/${dtouched:-none})"; exit 1; }
+for env in kvm-64 specialized-64; do
+  read -r shared touched <<<"$(surface_of $env)"
+  [ -n "$shared" ] && [ "$shared" -eq 1 ] ||
+    { echo "$env should share exactly the block device (got ${shared:-none}/${touched:-none})"; exit 1; }
+done
+echo "   shared surface: docker-64 $dshared/$dtouched, partitioned envs 1 family"
+
+echo "== 4-worker run must render byte-identically"
+"$work/ksaexp" -exp isolation -scale quick -parallel 4 >"$work/par.txt"
+diff <(grep -v '^\[' "$work/serial.txt") <(grep -v '^\[' "$work/par.txt")
+serial_digest=$(sed -n 's/^digest \([0-9a-f]*\)$/\1/p' "$work/serial.txt")
+par_digest=$(sed -n 's/^digest \([0-9a-f]*\)$/\1/p' "$work/par.txt")
+[ -n "$serial_digest" ] && [ "$serial_digest" = "$par_digest" ] ||
+  { echo "digest mismatch: '$serial_digest' vs '$par_digest'"; exit 1; }
+echo "   serial == 4-worker (digest $serial_digest)"
+
+echo "== contention cells must bypass the cache"
+"$work/ksaexp" -exp isolation -scale quick -cache "$work/cache" >"$work/cached.txt"
+diff <(grep -v '^\[' "$work/serial.txt") <(grep -v '^\[' "$work/cached.txt")
+if grep -q 'isolation cache:' "$work/cached.txt"; then
+  echo "isolation run reported cache traffic"; exit 1
+fi
+entries=$(find "$work/cache" -type f 2>/dev/null | wc -l)
+[ "$entries" -eq 0 ] ||
+  { echo "isolation run wrote $entries cache entries"; exit 1; }
+echo "   no cache reads or writes"
+
+echo "== isolation smoke OK"
